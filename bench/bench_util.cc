@@ -1,0 +1,41 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tetris::bench
+{
+
+bool
+quickMode()
+{
+    const char *v = std::getenv("TETRIS_BENCH_QUICK");
+    return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+std::vector<MoleculeSpec>
+benchMolecules(size_t quick_count)
+{
+    std::vector<MoleculeSpec> specs = moleculeBenchmarks();
+    if (quickMode() && specs.size() > quick_count)
+        specs.resize(quick_count);
+    return specs;
+}
+
+void
+printBanner(const std::string &title, const std::string &note)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    if (!note.empty())
+        std::printf("%s\n", note.c_str());
+    std::printf("\n");
+}
+
+double
+improvement(double a, double b)
+{
+    return a == 0.0 ? 0.0 : (a - b) / a;
+}
+
+} // namespace tetris::bench

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness.
+ *
+ * Every binary in bench/ regenerates one table or figure of the
+ * paper and prints the corresponding rows (plus, where available,
+ * the paper's published values for side-by-side comparison).
+ * Set TETRIS_BENCH_QUICK=1 to restrict the molecule set to the
+ * smaller half for fast smoke runs.
+ */
+
+#ifndef TETRIS_BENCH_BENCH_UTIL_HH
+#define TETRIS_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "chem/uccsd.hh"
+#include "common/table.hh"
+#include "hardware/topologies.hh"
+#include "pauli/pauli_block.hh"
+
+namespace tetris::bench
+{
+
+/** True when TETRIS_BENCH_QUICK is set to a non-zero value. */
+bool quickMode();
+
+/** Molecule list honoring quick mode (first `quick_count` entries). */
+std::vector<MoleculeSpec> benchMolecules(size_t quick_count = 3);
+
+/** Print a section banner naming the paper artifact being rebuilt. */
+void printBanner(const std::string &title, const std::string &note);
+
+/** Percentage improvement of b over a: (a-b)/a. */
+double improvement(double a, double b);
+
+} // namespace tetris::bench
+
+#endif // TETRIS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Fig. 14: CNOT gate count across full compiler stacks
+ * -- T|Ket> proxy, PCOAST proxy, Paulihedral, Tetris with the
+ * PH-style scheduler, and Tetris with the lookahead scheduler
+ * (K=10) -- on LiH..MgH2 (JW, heavy-hex), mirroring the paper's
+ * molecule subset (T|Ket> timed out beyond MgH2 in the paper).
+ */
+
+#include <cstdio>
+
+#include "baselines/max_cancel.hh"
+#include "baselines/naive.hh"
+#include "baselines/paulihedral.hh"
+#include "bench_util.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+int
+main()
+{
+    printBanner("Fig. 14: compiler comparison (CNOT count, JW, heavy-hex)",
+                "Expected ordering: TKet >> PCOAST > PH > Tetris > "
+                "Tetris+lookahead.");
+
+    CouplingGraph hw = ibmIthaca65();
+    TablePrinter table({"Bench", "TKet", "PCOAST", "PH", "Tetris",
+                        "Tetris+lookahead"});
+
+    auto mols = benchMolecules(2);
+    if (mols.size() > 4)
+        mols.resize(4); // LiH..MgH2 as in the paper
+
+    for (const auto &spec : mols) {
+        auto blocks = buildMolecule(spec, "jw");
+
+        CompileResult tket = compileTketProxy(blocks, hw, TketFlavor::O2);
+        CompileResult pcoast = compilePcoastProxy(blocks, hw);
+        CompileResult ph = compilePaulihedral(blocks, hw);
+
+        TetrisOptions ph_sched;
+        ph_sched.scheduler = SchedulerKind::Lexicographic;
+        CompileResult tet = compileTetris(blocks, hw, ph_sched);
+
+        TetrisOptions look;
+        look.scheduler = SchedulerKind::Lookahead;
+        look.lookaheadK = 10;
+        CompileResult tet_look = compileTetris(blocks, hw, look);
+
+        table.addRow({spec.name, formatCount(tket.stats.cnotCount),
+                      formatCount(pcoast.stats.cnotCount),
+                      formatCount(ph.stats.cnotCount),
+                      formatCount(tet.stats.cnotCount),
+                      formatCount(tet_look.stats.cnotCount)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Fig. 15: (a) the two T|Ket> proxy flavors (lookahead
+ * O2 routing vs greedy Qiskit-O3-style routing); (b) the breakdown
+ * of SWAP-induced versus logical CNOTs for PCOAST, PH, and Tetris.
+ */
+
+#include <cstdio>
+
+#include "baselines/max_cancel.hh"
+#include "baselines/naive.hh"
+#include "baselines/paulihedral.hh"
+#include "bench_util.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+int
+main()
+{
+    CouplingGraph hw = ibmIthaca65();
+    auto mols = benchMolecules(2);
+    if (mols.size() > 4)
+        mols.resize(4);
+
+    printBanner("Fig. 15a: T|Ket> + TKet-O2 vs T|Ket> + Qiskit-O3",
+                "Paper: the O2 flavor wins in all cases.");
+    TablePrinter a({"Bench", "TKet+O2 CNOT", "TKet+QiskitO3 CNOT"});
+    for (const auto &spec : mols) {
+        auto blocks = buildMolecule(spec, "jw");
+        CompileResult o2 = compileTketProxy(blocks, hw, TketFlavor::O2);
+        CompileResult o3 =
+            compileTketProxy(blocks, hw, TketFlavor::QiskitO3);
+        a.addRow({spec.name, formatCount(o2.stats.cnotCount),
+                  formatCount(o3.stats.cnotCount)});
+    }
+    a.print();
+
+    printBanner("Fig. 15b: logical vs SWAP-induced CNOT breakdown",
+                "Paper: PCOAST has the lowest logical count but by far "
+                "the largest SWAP-induced CNOT fraction.");
+    TablePrinter b({"Bench", "PCOAST logical", "PCOAST swaps",
+                    "PH logical", "PH swaps", "Tetris logical",
+                    "Tetris swaps"});
+    for (const auto &spec : mols) {
+        auto blocks = buildMolecule(spec, "jw");
+        CompileResult pcoast = compilePcoastProxy(blocks, hw);
+        CompileResult ph = compilePaulihedral(blocks, hw);
+        CompileResult tet = compileTetris(blocks, hw);
+        b.addRow({spec.name, formatCount(pcoast.stats.logicalCnots),
+                  formatCount(pcoast.stats.swapCnots),
+                  formatCount(ph.stats.logicalCnots),
+                  formatCount(ph.stats.swapCnots),
+                  formatCount(tet.stats.logicalCnots),
+                  formatCount(tet.stats.swapCnots)});
+    }
+    b.print();
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates Fig. 16: PH and Tetris compiled with and without the
+ * peephole ("Qiskit O3") pass. The paper's observation: O3 recovers
+ * a lot for PH (which delegates cancellation entirely), while
+ * Tetris performs its own structural cancellation and gains less.
+ */
+
+#include <cstdio>
+
+#include "baselines/paulihedral.hh"
+#include "bench_util.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+int
+main()
+{
+    printBanner("Fig. 16: with/without peephole (Qiskit O3 stand-in)",
+                "CNOT count and depth; JW encoder, heavy-hex 65q.");
+
+    CouplingGraph hw = ibmIthaca65();
+    TablePrinter table({"Bench", "PH raw CNOT", "PH+O3 CNOT",
+                        "Tetris raw CNOT", "Tetris+O3 CNOT",
+                        "PH raw depth", "PH+O3 depth",
+                        "Tetris raw depth", "Tetris+O3 depth"});
+
+    for (const auto &spec : benchMolecules()) {
+        auto blocks = buildMolecule(spec, "jw");
+
+        PaulihedralOptions ph_raw_opts;
+        ph_raw_opts.runPeephole = false;
+        CompileResult ph_raw = compilePaulihedral(blocks, hw, ph_raw_opts);
+        CompileResult ph = compilePaulihedral(blocks, hw);
+
+        TetrisOptions tet_raw_opts;
+        tet_raw_opts.runPeephole = false;
+        CompileResult tet_raw = compileTetris(blocks, hw, tet_raw_opts);
+        CompileResult tet = compileTetris(blocks, hw);
+
+        table.addRow({spec.name, formatCount(ph_raw.stats.cnotCount),
+                      formatCount(ph.stats.cnotCount),
+                      formatCount(tet_raw.stats.cnotCount),
+                      formatCount(tet.stats.cnotCount),
+                      formatCount(ph_raw.stats.depth),
+                      formatCount(ph.stats.depth),
+                      formatCount(tet_raw.stats.depth),
+                      formatCount(tet.stats.depth)});
+    }
+    table.print();
+    return 0;
+}

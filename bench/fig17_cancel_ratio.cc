@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates Fig. 17: the logical-CNOT cancellation ratio achieved
+ * by PH, Tetris, and the max-cancel logical circuit, for both
+ * encoders. Expected ordering: PH <= Tetris <= max_cancel, with
+ * Tetris close to the max_cancel bound and scaling with size.
+ */
+
+#include <cstdio>
+
+#include "baselines/max_cancel.hh"
+#include "baselines/paulihedral.hh"
+#include "bench_util.hh"
+#include "circuit/peephole.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+int
+main()
+{
+    printBanner("Fig. 17: logical CNOT cancellation ratio",
+                "max_cancel = single-leaf-tree logical circuit + "
+                "peephole (no hardware constraint).");
+
+    CouplingGraph hw = ibmIthaca65();
+    TablePrinter table(
+        {"Encoder", "Bench", "PH", "Tetris", "max_cancel"});
+
+    for (const char *enc : {"jw", "bk"}) {
+        for (const auto &spec : benchMolecules()) {
+            auto blocks = buildMolecule(spec, enc);
+            CompileResult ph = compilePaulihedral(blocks, hw);
+            CompileResult tet = compileTetris(blocks, hw);
+            Circuit max_logical =
+                peepholeOptimize(synthesizeMaxCancelLogical(blocks));
+            double naive =
+                static_cast<double>(naiveCnotCount(blocks));
+            double max_ratio = 1.0 - max_logical.cnotCount() / naive;
+            table.addRow({enc, spec.name,
+                          formatPercent(ph.stats.cancelRatio),
+                          formatPercent(tet.stats.cancelRatio),
+                          formatPercent(max_ratio)});
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates Fig. 18: total CNOT gate breakdown (logical CNOTs vs
+ * SWAP-induced CNOTs) for PH, Tetris, and routed max-cancel, with
+ * the Tetris-over-PH improvement, on JW, BK and synthetic suites.
+ */
+
+#include <cstdio>
+
+#include "baselines/max_cancel.hh"
+#include "baselines/paulihedral.hh"
+#include "bench_util.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+namespace
+{
+
+void
+addRows(TablePrinter &table, const std::string &group,
+        const std::string &name, const std::vector<PauliBlock> &blocks,
+        const CouplingGraph &hw)
+{
+    CompileResult ph = compilePaulihedral(blocks, hw);
+    CompileResult tet = compileTetris(blocks, hw);
+    CompileResult max = compileMaxCancel(blocks, hw);
+
+    table.addRow({
+        group,
+        name,
+        formatCount(ph.stats.cnotCount),
+        formatCount(ph.stats.swapCnots),
+        formatCount(tet.stats.cnotCount),
+        formatCount(tet.stats.swapCnots),
+        formatCount(max.stats.cnotCount),
+        formatCount(max.stats.swapCnots),
+        formatPercent(-tetris::bench::improvement(
+            ph.stats.cnotCount, tet.stats.cnotCount)),
+    });
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Fig. 18: total CNOT breakdown (x = logical + swap)",
+                "Paper improvements: JW -15.4..-41.3%, BK "
+                "-10.2..-28.2%, synthetic -18.5..-28.1%.");
+
+    CouplingGraph hw = ibmIthaca65();
+    TablePrinter table({"Group", "Bench", "PH", "PH_S", "Tetris",
+                        "Tetris_S", "max", "max_S", "Improv"});
+
+    for (const char *enc : {"jw", "bk"}) {
+        for (const auto &spec : benchMolecules())
+            addRows(table, enc, spec.name, buildMolecule(spec, enc), hw);
+    }
+    std::vector<int> ucc_sizes = {10, 15, 20, 25, 30, 35};
+    if (quickMode())
+        ucc_sizes = {10, 15};
+    for (int n : ucc_sizes) {
+        addRows(table, "Synthetic", "UCC-" + std::to_string(n),
+                buildSyntheticUcc(n, 1000 + n), hw);
+    }
+
+    table.print();
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates Fig. 21: PH vs Tetris on the Google-Sycamore-like
+ * 64-qubit backend (JW): depth and total CNOT count with the
+ * SWAP-induced breakdown.
+ */
+
+#include <cstdio>
+
+#include "baselines/paulihedral.hh"
+#include "bench_util.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+int
+main()
+{
+    printBanner("Fig. 21: Sycamore backend (JW)",
+                "Paper: depth improvement -18.1..-47.8%, CNOT "
+                "improvement -25.5..-42.3%.");
+
+    CouplingGraph hw = googleSycamore64();
+    TablePrinter table({"Bench", "PH depth", "Tet depth", "Depth%",
+                        "PH CNOT", "Tet CNOT", "CNOT%", "PH_S",
+                        "Tetris_S"});
+
+    for (const auto &spec : benchMolecules()) {
+        auto blocks = buildMolecule(spec, "jw");
+        CompileResult ph = compilePaulihedral(blocks, hw);
+        CompileResult tet = compileTetris(blocks, hw);
+        table.addRow({
+            spec.name,
+            formatCount(ph.stats.depth),
+            formatCount(tet.stats.depth),
+            formatPercent(
+                -improvement(ph.stats.depth, tet.stats.depth)),
+            formatCount(ph.stats.cnotCount),
+            formatCount(tet.stats.cnotCount),
+            formatPercent(
+                -improvement(ph.stats.cnotCount, tet.stats.cnotCount)),
+            formatCount(ph.stats.swapCnots),
+            formatCount(tet.stats.swapCnots),
+        });
+    }
+    table.print();
+    return 0;
+}

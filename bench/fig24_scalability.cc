@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Fig. 24: compilation time scalability. Reports the
+ * synthesis-only time (no peephole) and the full pipeline time for
+ * PH and Tetris across the molecule suite.
+ */
+
+#include <cstdio>
+
+#include "baselines/paulihedral.hh"
+#include "bench_util.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+int
+main()
+{
+    printBanner("Fig. 24: compilation latency (seconds)",
+                "Paper: Tetris's own pass costs more than PH's, but "
+                "the end-to-end latency including O3 scales better "
+                "because fewer gates reach the optimizer.");
+
+    CouplingGraph hw = ibmIthaca65();
+    TablePrinter table({"Bench", "PH", "PH+O3", "Tetris",
+                        "Tetris+O3"});
+
+    for (const auto &spec : benchMolecules()) {
+        auto blocks = buildMolecule(spec, "jw");
+
+        PaulihedralOptions ph_raw;
+        ph_raw.runPeephole = false;
+        double ph_t =
+            compilePaulihedral(blocks, hw, ph_raw).stats.compileSeconds;
+        double ph_o3 =
+            compilePaulihedral(blocks, hw).stats.compileSeconds;
+
+        TetrisOptions tet_raw;
+        tet_raw.runPeephole = false;
+        double tet_t =
+            compileTetris(blocks, hw, tet_raw).stats.compileSeconds;
+        double tet_o3 = compileTetris(blocks, hw).stats.compileSeconds;
+
+        table.addRow({spec.name, formatDouble(ph_t), formatDouble(ph_o3),
+                      formatDouble(tet_t), formatDouble(tet_o3)});
+    }
+    table.print();
+    return 0;
+}

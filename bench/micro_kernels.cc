@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's hot kernels:
+ * Pauli algebra, UCCSD generation, peephole optimization, routing,
+ * and full compilation of a mid-size molecule. These are not paper
+ * artifacts; they track the cost of the primitives the paper's
+ * experiments are built from.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/paulihedral.hh"
+#include "chem/uccsd.hh"
+#include "circuit/peephole.hh"
+#include "common/rng.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+#include "router/router.hh"
+
+namespace
+{
+
+using namespace tetris;
+
+void
+BM_PauliStringMul(benchmark::State &state)
+{
+    PauliString a = PauliString::fromText("XXYZIXZYIZXYZIXZ");
+    PauliString b = PauliString::fromText("ZIXYZXIYZXYZIXZY");
+    for (auto _ : state) {
+        auto r = mulStrings(a, b);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_PauliStringMul);
+
+void
+BM_DoubleExcitationJw(benchmark::State &state)
+{
+    JordanWignerEncoding enc(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto b = makeDoubleExcitation(enc, 0, 3, enc.numModes() - 4,
+                                      enc.numModes() - 1, 0.3);
+        benchmark::DoNotOptimize(b);
+    }
+}
+BENCHMARK(BM_DoubleExcitationJw)->Arg(12)->Arg(20)->Arg(30);
+
+void
+BM_UccsdBuild(benchmark::State &state)
+{
+    const MoleculeSpec &spec = moleculeBenchmarks()[0]; // LiH
+    for (auto _ : state) {
+        auto blocks = buildMolecule(spec, "jw");
+        benchmark::DoNotOptimize(blocks);
+    }
+}
+BENCHMARK(BM_UccsdBuild);
+
+void
+BM_Peephole(benchmark::State &state)
+{
+    Rng rng(7);
+    Circuit c(16);
+    for (int i = 0; i < 4000; ++i) {
+        int a = rng.uniformInt(0, 15);
+        int b = rng.uniformInt(0, 15);
+        if (a == b)
+            b = (b + 1) % 16;
+        if (rng.bernoulli(0.5))
+            c.cx(a, b);
+        else
+            c.h(a);
+    }
+    for (auto _ : state) {
+        Circuit r = peepholeOptimize(c);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_Peephole);
+
+void
+BM_RouteGreedy(benchmark::State &state)
+{
+    Rng rng(9);
+    Circuit c(20);
+    for (int i = 0; i < 1000; ++i) {
+        int a = rng.uniformInt(0, 19);
+        int b = rng.uniformInt(0, 19);
+        if (a == b)
+            b = (b + 1) % 20;
+        c.cx(a, b);
+    }
+    CouplingGraph hw = ibmIthaca65();
+    for (auto _ : state) {
+        auto r = routeCircuit(c, hw, RouterKind::Greedy);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_RouteGreedy);
+
+void
+BM_CompileTetrisLiH(benchmark::State &state)
+{
+    auto blocks = buildMolecule(moleculeBenchmarks()[0], "jw");
+    CouplingGraph hw = ibmIthaca65();
+    for (auto _ : state) {
+        auto r = compileTetris(blocks, hw);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_CompileTetrisLiH);
+
+void
+BM_CompilePaulihedralLiH(benchmark::State &state)
+{
+    auto blocks = buildMolecule(moleculeBenchmarks()[0], "jw");
+    CouplingGraph hw = ibmIthaca65();
+    for (auto _ : state) {
+        auto r = compilePaulihedral(blocks, hw);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_CompilePaulihedralLiH);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Regenerates Table I: benchmark characteristics (#qubits, #Pauli,
+ * #CNOT, #1Q) for the molecule suite (JW), the synthetic UCC-n
+ * suite, and the QAOA graphs. Paper values printed alongside.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "qaoa/qaoa.hh"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+namespace
+{
+
+struct PaperRow
+{
+    size_t pauli, cnot, one_q;
+};
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Table I: Benchmarks",
+                "Molecules use the JW encoder (blocked spin order); "
+                "paper values in parentheses.");
+
+    TablePrinter table({"Type", "Bench", "#qubits", "#Pauli(paper)",
+                        "#CNOT(paper)", "#1Q(paper)"});
+
+    const std::vector<PaperRow> mol_paper = {
+        {640, 8064, 4992},     {1488, 21072, 11712},
+        {4240, 73680, 33600},  {8400, 173264, 66752},
+        {17280, 440960, 137600}, {20944, 568656, 166848},
+    };
+    const auto &mols = moleculeBenchmarks();
+    for (size_t i = 0; i < mols.size(); ++i) {
+        auto blocks = buildMolecule(mols[i], "jw");
+        char pauli[64], cnot[64], one_q[64];
+        std::snprintf(pauli, sizeof(pauli), "%zu (%zu)",
+                      totalStrings(blocks), mol_paper[i].pauli);
+        std::snprintf(cnot, sizeof(cnot), "%zu (%zu)",
+                      naiveCnotCount(blocks), mol_paper[i].cnot);
+        std::snprintf(one_q, sizeof(one_q), "%zu (%zu)",
+                      naiveOneQubitCount(blocks), mol_paper[i].one_q);
+        table.addRow({"Molecule", mols[i].name,
+                      std::to_string(mols[i].numSpinOrbitals), pauli,
+                      cnot, one_q});
+    }
+
+    const std::vector<PaperRow> ucc_paper = {
+        {800, 8976, 6400},    {1800, 27200, 14400},
+        {3200, 59712, 25600}, {5000, 117376, 40000},
+        {7200, 193984, 57600}, {9800, 304976, 78400},
+    };
+    const int ucc_sizes[] = {10, 15, 20, 25, 30, 35};
+    for (size_t i = 0; i < 6; ++i) {
+        int n = ucc_sizes[i];
+        auto blocks = buildSyntheticUcc(n, 1000 + n);
+        char pauli[64], cnot[64], one_q[64];
+        std::snprintf(pauli, sizeof(pauli), "%zu (%zu)",
+                      totalStrings(blocks), ucc_paper[i].pauli);
+        std::snprintf(cnot, sizeof(cnot), "%zu (%zu)",
+                      naiveCnotCount(blocks), ucc_paper[i].cnot);
+        std::snprintf(one_q, sizeof(one_q), "%zu (%zu)",
+                      naiveOneQubitCount(blocks), ucc_paper[i].one_q);
+        table.addRow({"UCCSD", "UCC-" + std::to_string(n),
+                      std::to_string(n), pauli, cnot, one_q});
+    }
+
+    const std::vector<PaperRow> qaoa_paper = {
+        {25, 50, 57}, {31, 62, 67}, {40, 80, 80},
+        {24, 48, 56}, {27, 54, 63}, {30, 60, 70},
+    };
+    const auto &specs = qaoaBenchmarks();
+    for (size_t i = 0; i < specs.size(); ++i) {
+        Graph g = buildQaoaGraph(specs[i], 1);
+        auto blocks = buildQaoaCostBlocks(g, 0.4);
+        // Table I 1Q accounting: one RZ per edge + H and RX layers.
+        size_t one_q = g.numEdges() + 2 * g.numNodes();
+        char pauli[64], cnot[64], oq[64];
+        std::snprintf(pauli, sizeof(pauli), "%zu (%zu)", blocks.size(),
+                      qaoa_paper[i].pauli);
+        std::snprintf(cnot, sizeof(cnot), "%zu (%zu)",
+                      naiveCnotCount(blocks), qaoa_paper[i].cnot);
+        std::snprintf(oq, sizeof(oq), "%zu (%zu)", one_q,
+                      qaoa_paper[i].one_q);
+        table.addRow({"QAOA", specs[i].name,
+                      std::to_string(specs[i].numNodes), pauli, cnot,
+                      oq});
+    }
+
+    table.print();
+    return 0;
+}

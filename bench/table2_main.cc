@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates Table II: Paulihedral vs Tetris on the 65-qubit
+ * heavy-hex backend -- total gates, CNOT gates, depth, and duration
+ * with improvement percentages -- for the six molecules under both
+ * encoders plus the synthetic UCC suite.
+ */
+
+#include <cstdio>
+
+#include "baselines/paulihedral.hh"
+#include "bench_util.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+namespace
+{
+
+void
+addComparisonRow(TablePrinter &table, const std::string &group,
+                 const std::string &name,
+                 const std::vector<PauliBlock> &blocks,
+                 const CouplingGraph &hw)
+{
+    CompileResult ph = compilePaulihedral(blocks, hw);
+    CompileResult tet = compileTetris(blocks, hw);
+
+    auto pct = [](double a, double b) {
+        return formatPercent(-improvement(a, b)); // paper prints -x%
+    };
+    table.addRow({
+        group,
+        name,
+        formatCount(ph.stats.totalGateCount),
+        formatCount(tet.stats.totalGateCount),
+        pct(ph.stats.totalGateCount, tet.stats.totalGateCount),
+        formatCount(ph.stats.cnotCount),
+        formatCount(tet.stats.cnotCount),
+        pct(ph.stats.cnotCount, tet.stats.cnotCount),
+        formatCount(ph.stats.depth),
+        formatCount(tet.stats.depth),
+        pct(ph.stats.depth, tet.stats.depth),
+        formatCount(ph.stats.durationDt),
+        formatCount(tet.stats.durationDt),
+        pct(ph.stats.durationDt, tet.stats.durationDt),
+    });
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(
+        "Table II: Paulihedral (PH) vs Tetris on IBM heavy-hex 65q",
+        "Negative percentages = reduction by Tetris (paper JW CNOT: "
+        "-17.2..-40.7%, depth: -11.0..-37.6%).");
+
+    CouplingGraph hw = ibmIthaca65();
+    TablePrinter table({"Encoder", "Bench", "Tot PH", "Tot Tet", "Tot%",
+                        "CNOT PH", "CNOT Tet", "CNOT%", "Dep PH",
+                        "Dep Tet", "Dep%", "Dur PH", "Dur Tet", "Dur%"});
+
+    for (const char *enc : {"jw", "bk"}) {
+        for (const auto &spec : benchMolecules()) {
+            addComparisonRow(table,
+                             enc == std::string("jw") ? "Jordan-Wigner"
+                                                      : "Bravyi-Kitaev",
+                             spec.name, buildMolecule(spec, enc), hw);
+        }
+    }
+
+    std::vector<int> ucc_sizes = {10, 15, 20, 25, 30, 35};
+    if (quickMode())
+        ucc_sizes = {10, 15};
+    for (int n : ucc_sizes) {
+        addComparisonRow(table, "Synthetic", "UCC-" + std::to_string(n),
+                         buildSyntheticUcc(n, 1000 + n), hw);
+    }
+
+    table.print();
+    return 0;
+}

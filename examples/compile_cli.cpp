@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Command-line compiler driver: compile a named workload with a
+ * chosen compiler and backend, print the paper's metrics, and
+ * optionally export the compiled circuit as OpenQASM 2.0 -- the
+ * "downstream user" entry point of the library.
+ *
+ * Usage:
+ *   compile_cli --workload LiH|BeH2|...|ucc-20|qaoa-rand-16
+ *               [--encoder jw|bk] [--backend ithaca|sycamore]
+ *               [--compiler tetris|ph|max|tket|pcoast]
+ *               [--swap-weight W] [--lookahead K] [--no-bridging]
+ *               [--qasm out.qasm]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/max_cancel.hh"
+#include "baselines/naive.hh"
+#include "baselines/paulihedral.hh"
+#include "chem/uccsd.hh"
+#include "circuit/qasm.hh"
+#include "core/compiler.hh"
+#include "core/qaoa_pass.hh"
+#include "hardware/topologies.hh"
+#include "qaoa/qaoa.hh"
+
+namespace
+{
+
+using namespace tetris;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: compile_cli --workload <name> [--encoder jw|bk]"
+                 " [--backend ithaca|sycamore] [--compiler tetris|ph|"
+                 "max|tket|pcoast] [--swap-weight W] [--lookahead K]"
+                 " [--no-bridging] [--qasm FILE]\n");
+    std::exit(2);
+}
+
+std::vector<PauliBlock>
+loadWorkload(const std::string &name, const std::string &encoder,
+             bool &is_qaoa)
+{
+    is_qaoa = false;
+    if (name.rfind("ucc-", 0) == 0) {
+        int n = std::atoi(name.c_str() + 4);
+        return buildSyntheticUcc(n, 1000 + n);
+    }
+    if (name.rfind("qaoa-", 0) == 0) {
+        is_qaoa = true;
+        for (const auto &spec : qaoaBenchmarks()) {
+            std::string key = spec.name;
+            for (auto &c : key)
+                c = static_cast<char>(std::tolower(c));
+            if ("qaoa-" + key == name)
+                return buildQaoaCostBlocks(buildQaoaGraph(spec, 1), 0.35);
+        }
+        fatal("unknown QAOA workload '", name, "'");
+    }
+    return buildMolecule(moleculeByName(name), encoder);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tetris;
+
+    std::string workload, encoder = "jw", backend = "ithaca";
+    std::string compiler = "tetris", qasm_path;
+    TetrisOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage();
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--workload"))
+            workload = need("--workload");
+        else if (!std::strcmp(argv[i], "--encoder"))
+            encoder = need("--encoder");
+        else if (!std::strcmp(argv[i], "--backend"))
+            backend = need("--backend");
+        else if (!std::strcmp(argv[i], "--compiler"))
+            compiler = need("--compiler");
+        else if (!std::strcmp(argv[i], "--swap-weight"))
+            opts.synthesis.swapWeight = std::atof(need("--swap-weight"));
+        else if (!std::strcmp(argv[i], "--lookahead"))
+            opts.lookaheadK = std::atoi(need("--lookahead"));
+        else if (!std::strcmp(argv[i], "--no-bridging"))
+            opts.synthesis.enableBridging = false;
+        else if (!std::strcmp(argv[i], "--qasm"))
+            qasm_path = need("--qasm");
+        else
+            usage();
+    }
+    if (workload.empty())
+        usage();
+
+    bool is_qaoa = false;
+    auto blocks = loadWorkload(workload, encoder, is_qaoa);
+    CouplingGraph hw =
+        backend == "sycamore" ? googleSycamore64() : ibmIthaca65();
+
+    CompileResult result;
+    if (compiler == "tetris") {
+        if (is_qaoa) {
+            QaoaPassOptions qopts;
+            qopts.enableBridging = opts.synthesis.enableBridging;
+            result = compileQaoaTetris(blocks, hw, qopts);
+        } else {
+            result = compileTetris(blocks, hw, opts);
+        }
+    } else if (compiler == "ph") {
+        result = compilePaulihedral(blocks, hw);
+    } else if (compiler == "max") {
+        result = compileMaxCancel(blocks, hw);
+    } else if (compiler == "tket") {
+        result = compileTketProxy(blocks, hw);
+    } else if (compiler == "pcoast") {
+        result = compilePcoastProxy(blocks, hw);
+    } else {
+        usage();
+    }
+
+    std::printf("workload   : %s (%zu blocks, %zu strings)\n",
+                workload.c_str(), blocks.size(), totalStrings(blocks));
+    std::printf("backend    : %s\n", hw.name().c_str());
+    std::printf("compiler   : %s\n", compiler.c_str());
+    std::printf("CNOT       : %zu (logical %zu + swap %zu)\n",
+                result.stats.cnotCount, result.stats.logicalCnots,
+                result.stats.swapCnots);
+    std::printf("1Q gates   : %zu\n", result.stats.oneQubitCount);
+    std::printf("depth      : %zu\n", result.stats.depth);
+    std::printf("duration   : %.0f dt\n", result.stats.durationDt);
+    std::printf("cancel     : %.1f%%\n",
+                100.0 * result.stats.cancelRatio);
+    std::printf("compile    : %.3f s\n", result.stats.compileSeconds);
+
+    if (!qasm_path.empty()) {
+        if (!writeQasm(result.circuit, qasm_path))
+            fatal("cannot write '", qasm_path, "'");
+        std::printf("qasm       : %s (%zu gates)\n", qasm_path.c_str(),
+                    result.circuit.size());
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The Tetris tuning spectrum (paper Sec. IV-B2): sweep the SWAP
+ * weight w and the scheduler lookahead K on one molecule and print
+ * how the compiler trades SWAP insertion against two-qubit-gate
+ * cancellation -- the design-space knobs a user would tune for a
+ * new device.
+ *
+ * Usage: design_space [molecule] [jw|bk]   (defaults: BeH2 jw)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "chem/uccsd.hh"
+#include "common/table.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tetris;
+
+    std::string molecule = argc > 1 ? argv[1] : "BeH2";
+    std::string encoder = argc > 2 ? argv[2] : "jw";
+
+    auto blocks = buildMolecule(moleculeByName(molecule), encoder);
+    CouplingGraph hw = ibmIthaca65();
+    std::printf("tuning Tetris for %s/%s on %s\n\n", molecule.c_str(),
+                encoder.c_str(), hw.name().c_str());
+
+    std::printf("SWAP weight sweep (K = 10):\n");
+    TablePrinter wt({"w", "SWAPs", "LogicalCNOT", "TotalCNOT", "Depth"});
+    for (double w : {0.5, 1.0, 3.0, 5.0, 10.0, 100.0}) {
+        TetrisOptions opts;
+        opts.synthesis.swapWeight = w;
+        CompileResult r = compileTetris(blocks, hw, opts);
+        wt.addRow({formatDouble(w, 1), formatCount(r.stats.swapCount),
+                   formatCount(r.stats.logicalCnots),
+                   formatCount(r.stats.cnotCount),
+                   formatCount(r.stats.depth)});
+    }
+    wt.print();
+
+    std::printf("\nscheduler sweep (w = 3):\n");
+    TablePrinter kt({"Scheduler", "TotalCNOT", "Depth", "Compile(s)"});
+    for (int k : {1, 5, 10, 20}) {
+        TetrisOptions opts;
+        opts.lookaheadK = k;
+        CompileResult r = compileTetris(blocks, hw, opts);
+        kt.addRow({"lookahead K=" + std::to_string(k),
+                   formatCount(r.stats.cnotCount),
+                   formatCount(r.stats.depth),
+                   formatDouble(r.stats.compileSeconds)});
+    }
+    for (auto kind : {SchedulerKind::InputOrder,
+                      SchedulerKind::Lexicographic}) {
+        TetrisOptions opts;
+        opts.scheduler = kind;
+        CompileResult r = compileTetris(blocks, hw, opts);
+        kt.addRow({kind == SchedulerKind::InputOrder ? "input order"
+                                                     : "lexicographic",
+                   formatCount(r.stats.cnotCount),
+                   formatCount(r.stats.depth),
+                   formatDouble(r.stats.compileSeconds)});
+    }
+    kt.print();
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The max-cancel baseline and the PCOAST proxy.
+ *
+ * max-cancel fixes the logical circuit to a single leaf tree per
+ * block, achieving the maximum structural two-qubit cancellation the
+ * Pauli grouping admits (Observation 2 / Fig. 2 upper bound), then
+ * transpiles with a router -- trading a flood of SWAPs for the
+ * cancellation. The PCOAST proxy is the same hardware-oblivious
+ * logical optimization followed by greedy routing, modeling PCOAST's
+ * profile of excellent logical counts but heavy SWAP overhead
+ * (Fig. 15b). See DESIGN.md "Substitutions".
+ */
+
+#ifndef TETRIS_BASELINES_MAX_CANCEL_HH
+#define TETRIS_BASELINES_MAX_CANCEL_HH
+
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "core/compiler.hh"
+#include "hardware/coupling_graph.hh"
+#include "pauli/pauli_block.hh"
+
+namespace tetris
+{
+
+/**
+ * The max-cancel logical circuit: per block, a single leaf chain
+ * over the common qubits emitted once at the block boundary, the
+ * root chain re-emitted per string. `logical_cx` (optional) receives
+ * the emitted CNOT count.
+ */
+Circuit synthesizeMaxCancelLogical(const std::vector<PauliBlock> &blocks,
+                                   size_t *logical_cx = nullptr);
+
+/** max-cancel + router + peephole for a device. */
+CompileResult compileMaxCancel(const std::vector<PauliBlock> &blocks,
+                               const CouplingGraph &hw);
+
+/** PCOAST proxy: logical peephole optimization + greedy routing. */
+CompileResult compilePcoastProxy(const std::vector<PauliBlock> &blocks,
+                                 const CouplingGraph &hw);
+
+} // namespace tetris
+
+#endif // TETRIS_BASELINES_MAX_CANCEL_HH

@@ -1,0 +1,99 @@
+#include "baselines/naive.hh"
+
+#include <chrono>
+
+#include "chem/uccsd.hh"
+#include "circuit/peephole.hh"
+#include "common/logging.hh"
+#include "router/router.hh"
+
+namespace tetris
+{
+
+namespace
+{
+
+void
+chainBasisEnter(Circuit &circ, int q, PauliOp op)
+{
+    if (op == PauliOp::X) {
+        circ.h(q);
+    } else if (op == PauliOp::Y) {
+        circ.sdg(q);
+        circ.h(q);
+    }
+}
+
+void
+chainBasisExit(Circuit &circ, int q, PauliOp op)
+{
+    if (op == PauliOp::X) {
+        circ.h(q);
+    } else if (op == PauliOp::Y) {
+        circ.h(q);
+        circ.s(q);
+    }
+}
+
+} // namespace
+
+void
+emitChainString(Circuit &circ, const PauliString &s, double angle)
+{
+    std::vector<size_t> active = s.support();
+    if (active.empty())
+        return;
+    for (size_t q : active)
+        chainBasisEnter(circ, static_cast<int>(q), s.op(q));
+    for (size_t i = 0; i + 1 < active.size(); ++i) {
+        circ.cx(static_cast<int>(active[i]),
+                static_cast<int>(active[i + 1]));
+    }
+    circ.rz(static_cast<int>(active.back()), angle);
+    for (size_t i = active.size() - 1; i >= 1; --i) {
+        circ.cx(static_cast<int>(active[i - 1]),
+                static_cast<int>(active[i]));
+    }
+    for (size_t q : active)
+        chainBasisExit(circ, static_cast<int>(q), s.op(q));
+}
+
+Circuit
+synthesizeNaiveLogical(const std::vector<PauliBlock> &blocks)
+{
+    Circuit circ(blocksNumQubits(blocks));
+    for (const auto &b : blocks) {
+        for (size_t i = 0; i < b.size(); ++i)
+            emitChainString(circ, b.string(i), b.weight(i) * b.theta());
+    }
+    return circ;
+}
+
+CompileResult
+compileTketProxy(const std::vector<PauliBlock> &blocks,
+                 const CouplingGraph &hw, TketFlavor flavor)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    Circuit logical = synthesizeNaiveLogical(blocks);
+    logical = peepholeOptimize(logical);
+
+    RouterKind router = flavor == TketFlavor::O2 ? RouterKind::SabreLite
+                                                 : RouterKind::Greedy;
+    RouteResult routed = routeCircuit(logical, hw, router);
+    Circuit physical = peepholeOptimize(routed.physical);
+
+    auto t1 = std::chrono::steady_clock::now();
+
+    CompileResult result;
+    result.circuit = std::move(physical);
+    result.finalLayout = routed.finalLayout;
+    SynthStats synth;
+    synth.insertedSwaps = routed.insertedSwaps;
+    finalizeStats(result.circuit, naiveCnotCount(blocks),
+                  std::chrono::duration<double>(t1 - t0).count(), synth,
+                  result.stats);
+    return result;
+}
+
+} // namespace tetris

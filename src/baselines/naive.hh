@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Naive chain synthesis and the T|Ket> proxy baseline.
+ *
+ * The naive logical synthesis lowers each Pauli string independently
+ * to a CNOT chain over its active qubits (the "original circuit" of
+ * the paper's Table I and gate-cancellation-ratio denominators). The
+ * T|Ket> proxy models a general-purpose compiler that is blind to
+ * inter-string structure: naive synthesis, peephole, then SABRE-lite
+ * (O2 flavor) or greedy (O3 flavor) routing. See DESIGN.md
+ * "Substitutions".
+ */
+
+#ifndef TETRIS_BASELINES_NAIVE_HH
+#define TETRIS_BASELINES_NAIVE_HH
+
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "core/compiler.hh"
+#include "hardware/coupling_graph.hh"
+#include "pauli/pauli_block.hh"
+
+namespace tetris
+{
+
+/** Append exp(-i angle/2 P) as an ascending-order CNOT chain. */
+void emitChainString(Circuit &circ, const PauliString &s, double angle);
+
+/** The naive logical circuit: every string as an independent chain. */
+Circuit synthesizeNaiveLogical(const std::vector<PauliBlock> &blocks);
+
+/** Routing flavors of the T|Ket> proxy (Fig. 15a). */
+enum class TketFlavor
+{
+    /** T|Ket> + T|Ket> O2: lookahead routing. */
+    O2,
+    /** T|Ket> + Qiskit O3: greedy routing. */
+    QiskitO3,
+};
+
+/** Compile with the T|Ket> proxy pipeline. */
+CompileResult compileTketProxy(const std::vector<PauliBlock> &blocks,
+                               const CouplingGraph &hw,
+                               TketFlavor flavor = TketFlavor::O2);
+
+} // namespace tetris
+
+#endif // TETRIS_BASELINES_NAIVE_HH

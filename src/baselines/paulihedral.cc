@@ -1,0 +1,65 @@
+#include "baselines/paulihedral.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "chem/uccsd.hh"
+#include "circuit/peephole.hh"
+#include "core/synthesis.hh"
+
+namespace tetris
+{
+
+CompileResult
+compilePaulihedral(const std::vector<PauliBlock> &blocks,
+                   const CouplingGraph &hw, const PaulihedralOptions &opts)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    const int num_logical = blocksNumQubits(blocks);
+    Layout layout(num_logical, hw.numQubits());
+    Circuit circ(hw.numQubits());
+
+    SynthesisOptions synth_opts;
+    synth_opts.enableBridging = false; // PH uses SWAPs only.
+    BlockSynthesizer synth(hw, synth_opts);
+    SynthStats synth_stats;
+
+    // Lexicographic block order keeps similar strings adjacent.
+    std::vector<std::string> keys(blocks.size());
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        for (const auto &s : blocks[i].strings())
+            keys[i] += s.toText();
+    }
+    std::vector<size_t> order(blocks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return keys[a] < keys[b];
+    });
+
+    CompileResult result;
+    result.blockOrder.reserve(order.size());
+    for (size_t idx : order) {
+        const PauliBlock &b = blocks[idx];
+        for (size_t i = 0; i < b.size(); ++i) {
+            synth.synthesizeString(b.string(i), b.weight(i) * b.theta(),
+                                   layout, circ, synth_stats);
+        }
+        result.blockOrder.push_back(idx);
+    }
+
+    if (opts.runPeephole)
+        circ = peepholeOptimize(circ);
+
+    auto t1 = std::chrono::steady_clock::now();
+
+    result.circuit = std::move(circ);
+    result.finalLayout = layout;
+    finalizeStats(result.circuit, naiveCnotCount(blocks),
+                  std::chrono::duration<double>(t1 - t0).count(),
+                  synth_stats, result.stats);
+    return result;
+}
+
+} // namespace tetris

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Paulihedral baseline (Li et al., ASPLOS'22) reimplementation.
+ *
+ * Blocks are scheduled in lexicographic order (which places similar
+ * strings adjacently and guarantees the 1Q-gate cancellation the
+ * original paper emphasizes); every string is synthesized
+ * individually by growing a BFS tree from the largest connected
+ * component of its active qubits under the live mapping
+ * (SWAP-centric synthesis). Gate cancellation is then left to the
+ * peephole ("Qiskit O3") pass, exactly as PH leaves it to Qiskit.
+ */
+
+#ifndef TETRIS_BASELINES_PAULIHEDRAL_HH
+#define TETRIS_BASELINES_PAULIHEDRAL_HH
+
+#include <vector>
+
+#include "core/compiler.hh"
+#include "hardware/coupling_graph.hh"
+#include "pauli/pauli_block.hh"
+
+namespace tetris
+{
+
+/** Paulihedral knobs. */
+struct PaulihedralOptions
+{
+    /** Run the peephole pass afterwards (Fig. 16 ablation). */
+    bool runPeephole = true;
+};
+
+/** Compile with the Paulihedral pipeline. */
+CompileResult compilePaulihedral(const std::vector<PauliBlock> &blocks,
+                                 const CouplingGraph &hw,
+                                 const PaulihedralOptions &opts
+                                 = PaulihedralOptions());
+
+} // namespace tetris
+
+#endif // TETRIS_BASELINES_PAULIHEDRAL_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * 2QAN proxy baseline for QAOA (Lao & Browne, ISCA'22).
+ *
+ * Models 2QAN's defining optimizations for 2-local Hamiltonian
+ * simulation kernels: gates commute so they are drained greedily
+ * whenever adjacent, SWAPs are chosen by steepest descent on the
+ * total remaining gate distance, and a SWAP whose qubit pair also
+ * has a pending ZZ gate is merged with it into a 3-CNOT block
+ * (SWAP + ZZ = CX RZ CX CX). See DESIGN.md "Substitutions".
+ */
+
+#ifndef TETRIS_BASELINES_QAOA_2QAN_HH
+#define TETRIS_BASELINES_QAOA_2QAN_HH
+
+#include <vector>
+
+#include "core/compiler.hh"
+#include "hardware/coupling_graph.hh"
+#include "pauli/pauli_block.hh"
+
+namespace tetris
+{
+
+/** Compile 1-/2-local Z blocks with the 2QAN-proxy pipeline. */
+CompileResult compile2qanProxy(const std::vector<PauliBlock> &blocks,
+                               const CouplingGraph &hw);
+
+} // namespace tetris
+
+#endif // TETRIS_BASELINES_QAOA_2QAN_HH

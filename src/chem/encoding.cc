@@ -1,0 +1,115 @@
+#include "chem/encoding.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+PauliSum
+FermionEncoding::creationOp(int mode) const
+{
+    return annihilationOp(mode).adjoint();
+}
+
+PauliSum
+JordanWignerEncoding::annihilationOp(int mode) const
+{
+    TETRIS_ASSERT(mode >= 0 && mode < numModes_);
+    PauliString x_part(static_cast<size_t>(numModes_));
+    PauliString y_part(static_cast<size_t>(numModes_));
+    for (int q = 0; q < mode; ++q) {
+        x_part.setOp(q, PauliOp::Z);
+        y_part.setOp(q, PauliOp::Z);
+    }
+    x_part.setOp(mode, PauliOp::X);
+    y_part.setOp(mode, PauliOp::Y);
+
+    PauliSum a(numModes_);
+    a.addTerm({0.5, 0.0}, std::move(x_part));
+    a.addTerm({0.0, 0.5}, std::move(y_part));
+    return a;
+}
+
+BravyiKitaevEncoding::BravyiKitaevEncoding(int num_modes)
+    : FermionEncoding(num_modes), parent_(num_modes, -1),
+      children_(num_modes), update_(num_modes), parity_(num_modes),
+      flip_(num_modes), rem_(num_modes)
+{
+    // Recursive Fenwick construction (Seeley-Richard-Love): node R
+    // stores the parity of modes [L, R]; its left half's top becomes
+    // its child.
+    auto build = [&](auto &&self, int lo, int hi) -> void {
+        if (lo >= hi)
+            return;
+        int mid = (lo + hi) / 2;
+        parent_[mid] = hi;
+        children_[hi].push_back(mid);
+        self(self, lo, mid);
+        self(self, mid + 1, hi);
+    };
+    build(build, 0, num_modes - 1);
+
+    for (int j = 0; j < num_modes; ++j) {
+        // Update set: the ancestor chain above j.
+        for (int a = parent_[j]; a != -1; a = parent_[a])
+            update_[j].push_back(a);
+
+        // Parity set: children of j or of any ancestor that lie
+        // strictly below j; their segments tile [0, j).
+        std::vector<int> chain{j};
+        chain.insert(chain.end(), update_[j].begin(), update_[j].end());
+        for (int x : chain) {
+            for (int c : children_[x]) {
+                if (c < j)
+                    parity_[j].push_back(c);
+            }
+        }
+        std::sort(parity_[j].begin(), parity_[j].end());
+
+        flip_[j] = children_[j];
+        std::sort(flip_[j].begin(), flip_[j].end());
+
+        std::set_difference(parity_[j].begin(), parity_[j].end(),
+                            flip_[j].begin(), flip_[j].end(),
+                            std::back_inserter(rem_[j]));
+    }
+}
+
+PauliSum
+BravyiKitaevEncoding::annihilationOp(int mode) const
+{
+    TETRIS_ASSERT(mode >= 0 && mode < numModes_);
+
+    // a_j = 1/2 (X_U X_j Z_P + i X_U Y_j Z_R)   [adjoint of a^dag_j]
+    PauliString x_str(static_cast<size_t>(numModes_));
+    PauliString y_str(static_cast<size_t>(numModes_));
+    for (int u : update_[mode]) {
+        x_str.setOp(u, PauliOp::X);
+        y_str.setOp(u, PauliOp::X);
+    }
+    for (int p : parity_[mode])
+        x_str.setOp(p, PauliOp::Z);
+    for (int r : rem_[mode])
+        y_str.setOp(r, PauliOp::Z);
+    x_str.setOp(mode, PauliOp::X);
+    y_str.setOp(mode, PauliOp::Y);
+
+    PauliSum a(numModes_);
+    a.addTerm({0.5, 0.0}, std::move(x_str));
+    a.addTerm({0.0, 0.5}, std::move(y_str));
+    return a;
+}
+
+std::unique_ptr<FermionEncoding>
+makeEncoding(const std::string &name, int num_modes)
+{
+    if (name == "jw" || name == "jordan-wigner")
+        return std::make_unique<JordanWignerEncoding>(num_modes);
+    if (name == "bk" || name == "bravyi-kitaev")
+        return std::make_unique<BravyiKitaevEncoding>(num_modes);
+    fatal("unknown encoding '", name, "'");
+}
+
+} // namespace tetris

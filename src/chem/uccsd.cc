@@ -1,0 +1,225 @@
+#include "chem/uccsd.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tetris
+{
+
+namespace
+{
+
+/**
+ * Convert an anti-Hermitian PauliSum T = sum_k (i c_k) P_k into a
+ * PauliBlock with weights w_k = -2 c_k so that
+ * exp(theta T) = prod_k exp(-i w_k theta / 2 * P_k).
+ */
+PauliBlock
+blockFromAntiHermitian(const PauliSum &t, double theta)
+{
+    PauliSum s = t.simplified();
+    TETRIS_ASSERT(s.isAntiHermitian(),
+                  "excitation operator is not anti-Hermitian");
+    TETRIS_ASSERT(!s.empty(), "excitation operator vanished");
+    std::vector<PauliString> strings;
+    std::vector<double> weights;
+    strings.reserve(s.size());
+    weights.reserve(s.size());
+    for (const auto &term : s.terms()) {
+        strings.push_back(term.string);
+        weights.push_back(-2.0 * term.coeff.imag());
+    }
+    return PauliBlock(std::move(strings), std::move(weights), theta);
+}
+
+/** Map a spatial orbital and spin to a mode index. */
+int
+modeIndex(int spatial, int spin, int num_spatial, SpinOrdering ordering)
+{
+    if (ordering == SpinOrdering::Blocked)
+        return spatial + spin * num_spatial;
+    return 2 * spatial + spin;
+}
+
+} // namespace
+
+PauliBlock
+makeSingleExcitation(const FermionEncoding &enc, int mode_i, int mode_a,
+                     double theta)
+{
+    PauliSum t = enc.creationOp(mode_a) * enc.annihilationOp(mode_i);
+    t = t - t.adjoint();
+    return blockFromAntiHermitian(t, theta);
+}
+
+PauliBlock
+makeDoubleExcitation(const FermionEncoding &enc, int mode_p, int mode_q,
+                     int mode_r, int mode_s, double theta)
+{
+    PauliSum t = enc.creationOp(mode_r) * enc.creationOp(mode_s) *
+                 enc.annihilationOp(mode_q) * enc.annihilationOp(mode_p);
+    t = t - t.adjoint();
+    return blockFromAntiHermitian(t, theta);
+}
+
+std::vector<PauliBlock>
+buildUccsd(const FermionEncoding &enc, int num_electrons,
+           const UccsdOptions &opts)
+{
+    const int n = enc.numModes();
+    TETRIS_ASSERT(n % 2 == 0, "odd spin-orbital count");
+    TETRIS_ASSERT(num_electrons % 2 == 0 && num_electrons > 0 &&
+                      num_electrons < n,
+                  "unsupported electron count");
+    const int num_spatial = n / 2;
+    const int occ = num_electrons / 2; // occupied spatial orbitals
+
+    Rng rng(opts.thetaSeed);
+    auto next_theta = [&rng] { return rng.uniform(0.05, 1.0); };
+    auto mode = [&](int spatial, int spin) {
+        return modeIndex(spatial, spin, num_spatial, opts.ordering);
+    };
+
+    std::vector<PauliBlock> blocks;
+
+    // Spin-preserving singles: occupied -> virtual, same spin.
+    for (int spin = 0; spin < 2; ++spin) {
+        for (int i = 0; i < occ; ++i) {
+            for (int a = occ; a < num_spatial; ++a) {
+                blocks.push_back(makeSingleExcitation(
+                    enc, mode(i, spin), mode(a, spin), next_theta()));
+            }
+        }
+    }
+
+    // Spin-conserving doubles over spin-orbital pairs p<q -> r<s with
+    // matching spin multisets.
+    struct SpinOrb
+    {
+        int mode;
+        int spin;
+    };
+    std::vector<SpinOrb> occ_so, virt_so;
+    for (int spin = 0; spin < 2; ++spin) {
+        for (int i = 0; i < occ; ++i)
+            occ_so.push_back({mode(i, spin), spin});
+        for (int a = occ; a < num_spatial; ++a)
+            virt_so.push_back({mode(a, spin), spin});
+    }
+
+    for (size_t p = 0; p < occ_so.size(); ++p) {
+        for (size_t q = p + 1; q < occ_so.size(); ++q) {
+            int occ_alpha = (occ_so[p].spin == 0) + (occ_so[q].spin == 0);
+            for (size_t r = 0; r < virt_so.size(); ++r) {
+                for (size_t s = r + 1; s < virt_so.size(); ++s) {
+                    int virt_alpha = (virt_so[r].spin == 0) +
+                                     (virt_so[s].spin == 0);
+                    if (occ_alpha != virt_alpha)
+                        continue;
+                    blocks.push_back(makeDoubleExcitation(
+                        enc, occ_so[p].mode, occ_so[q].mode,
+                        virt_so[r].mode, virt_so[s].mode, next_theta()));
+                }
+            }
+        }
+    }
+
+    return blocks;
+}
+
+const std::vector<MoleculeSpec> &
+moleculeBenchmarks()
+{
+    static const std::vector<MoleculeSpec> specs = {
+        {"LiH", 12, 4},  {"BeH2", 14, 6}, {"CH4", 18, 8},
+        {"MgH2", 22, 8}, {"LiCl", 28, 8}, {"CO2", 30, 8},
+    };
+    return specs;
+}
+
+const MoleculeSpec &
+moleculeByName(const std::string &name)
+{
+    for (const auto &spec : moleculeBenchmarks()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown molecule '", name, "'");
+}
+
+std::vector<PauliBlock>
+buildMolecule(const MoleculeSpec &spec, const std::string &encoding,
+              const UccsdOptions &opts)
+{
+    auto enc = makeEncoding(encoding, spec.numSpinOrbitals);
+    return buildUccsd(*enc, spec.numElectrons, opts);
+}
+
+std::vector<PauliBlock>
+buildSyntheticUcc(int num_qubits, uint64_t seed)
+{
+    TETRIS_ASSERT(num_qubits >= 4);
+    JordanWignerEncoding enc(num_qubits);
+    Rng rng(seed);
+    std::vector<PauliBlock> blocks;
+    const int count = num_qubits * num_qubits;
+    blocks.reserve(count);
+    while (static_cast<int>(blocks.size()) < count) {
+        // Four distinct modes; a^dag_r a^dag_s a_q a_p - h.c.
+        auto picks = rng.sampleIndices(num_qubits, 4);
+        int p = static_cast<int>(picks[0]);
+        int q = static_cast<int>(picks[1]);
+        int r = static_cast<int>(picks[2]);
+        int s = static_cast<int>(picks[3]);
+        if (p > q)
+            std::swap(p, q);
+        if (r > s)
+            std::swap(r, s);
+        blocks.push_back(makeDoubleExcitation(enc, p, q, r, s,
+                                              rng.uniform(0.05, 1.0)));
+    }
+    return blocks;
+}
+
+size_t
+naiveCnotCount(const std::vector<PauliBlock> &blocks)
+{
+    size_t n = 0;
+    for (const auto &b : blocks) {
+        for (const auto &s : b.strings()) {
+            size_t w = s.weight();
+            if (w >= 2)
+                n += 2 * (w - 1);
+        }
+    }
+    return n;
+}
+
+size_t
+naiveOneQubitCount(const std::vector<PauliBlock> &blocks)
+{
+    size_t n = 0;
+    for (const auto &b : blocks) {
+        for (const auto &s : b.strings()) {
+            for (size_t q = 0; q < s.numQubits(); ++q) {
+                if (s.op(q) == PauliOp::X || s.op(q) == PauliOp::Y)
+                    n += 2;
+            }
+        }
+    }
+    return n;
+}
+
+size_t
+totalStrings(const std::vector<PauliBlock> &blocks)
+{
+    size_t n = 0;
+    for (const auto &b : blocks)
+        n += b.size();
+    return n;
+}
+
+} // namespace tetris

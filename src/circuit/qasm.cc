@@ -1,0 +1,75 @@
+#include "circuit/qasm.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+std::string
+toQasm(const Circuit &c)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    os << "qreg q[" << c.numQubits() << "];\n";
+    os << "creg m[" << c.numQubits() << "];\n";
+
+    char buf[96];
+    for (const auto &g : c.gates()) {
+        switch (g.kind) {
+          case GateKind::H:
+            std::snprintf(buf, sizeof(buf), "h q[%d];\n", g.q0);
+            break;
+          case GateKind::X:
+            std::snprintf(buf, sizeof(buf), "x q[%d];\n", g.q0);
+            break;
+          case GateKind::S:
+            std::snprintf(buf, sizeof(buf), "s q[%d];\n", g.q0);
+            break;
+          case GateKind::Sdg:
+            std::snprintf(buf, sizeof(buf), "sdg q[%d];\n", g.q0);
+            break;
+          case GateKind::RZ:
+            std::snprintf(buf, sizeof(buf), "rz(%.17g) q[%d];\n",
+                          g.angle, g.q0);
+            break;
+          case GateKind::RX:
+            std::snprintf(buf, sizeof(buf), "rx(%.17g) q[%d];\n",
+                          g.angle, g.q0);
+            break;
+          case GateKind::CX:
+            std::snprintf(buf, sizeof(buf), "cx q[%d],q[%d];\n", g.q0,
+                          g.q1);
+            break;
+          case GateKind::SWAP:
+            std::snprintf(buf, sizeof(buf), "swap q[%d],q[%d];\n", g.q0,
+                          g.q1);
+            break;
+          case GateKind::MEASURE:
+            std::snprintf(buf, sizeof(buf), "measure q[%d] -> m[%d];\n",
+                          g.q0, g.q0);
+            break;
+          case GateKind::RESET:
+            std::snprintf(buf, sizeof(buf), "reset q[%d];\n", g.q0);
+            break;
+        }
+        os << buf;
+    }
+    return os.str();
+}
+
+bool
+writeQasm(const Circuit &c, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toQasm(c);
+    return static_cast<bool>(out);
+}
+
+} // namespace tetris

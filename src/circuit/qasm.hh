@@ -1,0 +1,29 @@
+/**
+ * @file
+ * OpenQASM 2.0 export.
+ *
+ * Lets compiled circuits be inspected or fed to external toolchains
+ * (the original artifact's Qiskit flows accept this format). SWAP
+ * and reset are emitted with their standard qelib decompositions /
+ * statements.
+ */
+
+#ifndef TETRIS_CIRCUIT_QASM_HH
+#define TETRIS_CIRCUIT_QASM_HH
+
+#include <string>
+
+#include "circuit/circuit.hh"
+
+namespace tetris
+{
+
+/** Render a circuit as an OpenQASM 2.0 program. */
+std::string toQasm(const Circuit &c);
+
+/** Write the QASM rendering to a file; returns success. */
+bool writeQasm(const Circuit &c, const std::string &path);
+
+} // namespace tetris
+
+#endif // TETRIS_CIRCUIT_QASM_HH

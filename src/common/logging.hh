@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Error and status reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (library bugs), fatal() is for unrecoverable user errors
+ * (bad configuration or input), warn() is advisory only.
+ */
+
+#ifndef TETRIS_COMMON_LOGGING_HH
+#define TETRIS_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tetris
+{
+
+namespace detail
+{
+
+/** Compose a message from stream-style arguments. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort because an internal invariant was violated. Use for conditions
+ * that indicate a bug in this library, never for user input errors.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::composeMessage(std::forward<Args>(args)...).c_str());
+    std::abort();
+}
+
+/**
+ * Exit because the computation cannot continue due to a user-side
+ * condition (invalid arguments, inconsistent configuration).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::composeMessage(std::forward<Args>(args)...).c_str());
+    std::exit(1);
+}
+
+/** Print a non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::composeMessage(std::forward<Args>(args)...).c_str());
+}
+
+/** Panic if a condition does not hold. Active in all build types. */
+#define TETRIS_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::tetris::panic("assertion '", #cond, "' failed at ",           \
+                            __FILE__, ":", __LINE__, " ", ##__VA_ARGS__);   \
+        }                                                                   \
+    } while (0)
+
+} // namespace tetris
+
+#endif // TETRIS_COMMON_LOGGING_HH

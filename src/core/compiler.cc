@@ -1,0 +1,174 @@
+#include "core/compiler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "chem/uccsd.hh"
+#include "circuit/peephole.hh"
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+int
+blocksNumQubits(const std::vector<PauliBlock> &blocks)
+{
+    TETRIS_ASSERT(!blocks.empty(), "no blocks to compile");
+    return static_cast<int>(blocks.front().numQubits());
+}
+
+void
+finalizeStats(const Circuit &circuit, size_t original_cnots,
+              double compile_seconds, const SynthStats &synth,
+              CompileStats &stats)
+{
+    stats.cnotCount = circuit.cnotCount();
+    stats.oneQubitCount = circuit.oneQubitCount();
+    stats.totalGateCount = circuit.totalGateCount();
+    stats.depth = circuit.depth();
+    stats.durationDt = circuit.duration();
+    stats.swapCount = circuit.swapCount();
+    stats.swapCnots = 3 * stats.swapCount;
+    stats.logicalCnots = stats.cnotCount - stats.swapCnots;
+    stats.originalCnots = original_cnots;
+    stats.cancelRatio =
+        original_cnots == 0
+            ? 0.0
+            : static_cast<double>(original_cnots -
+                                  std::min(original_cnots,
+                                           stats.logicalCnots)) /
+                  static_cast<double>(original_cnots);
+    stats.compileSeconds = compile_seconds;
+    stats.synthesis = synth;
+}
+
+namespace
+{
+
+/** Lexicographic block order by concatenated string text. */
+std::vector<size_t>
+lexicographicOrder(const std::vector<PauliBlock> &blocks)
+{
+    std::vector<std::string> keys(blocks.size());
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        for (const auto &s : blocks[i].strings())
+            keys[i] += s.toText();
+    }
+    std::vector<size_t> order(blocks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+    return order;
+}
+
+} // namespace
+
+CompileResult
+compileTetris(const std::vector<PauliBlock> &blocks,
+              const CouplingGraph &hw, const TetrisOptions &opts)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    const int num_logical = blocksNumQubits(blocks);
+    TETRIS_ASSERT(num_logical <= hw.numQubits(),
+                  "workload needs more qubits than the device has");
+
+    std::vector<TetrisBlock> ir;
+    if (opts.reorderStringsInBlock) {
+        std::vector<PauliBlock> reordered;
+        reordered.reserve(blocks.size());
+        for (const auto &b : blocks)
+            reordered.push_back(reorderForConsecutiveSimilarity(b));
+        ir = buildTetrisIr(reordered);
+    } else {
+        ir = buildTetrisIr(blocks);
+    }
+    Layout layout(num_logical, hw.numQubits());
+    Circuit circ(hw.numQubits());
+    BlockSynthesizer synth(hw, opts.synthesis);
+    SynthStats synth_stats;
+
+    CompileResult result;
+    result.blockOrder.reserve(blocks.size());
+
+    auto synthesize = [&](size_t idx) {
+        synth.synthesizeBlock(ir[idx], layout, circ, synth_stats);
+        result.blockOrder.push_back(idx);
+    };
+
+    if (opts.scheduler == SchedulerKind::InputOrder) {
+        for (size_t i = 0; i < ir.size(); ++i)
+            synthesize(i);
+    } else if (opts.scheduler == SchedulerKind::Lexicographic) {
+        for (size_t i : lexicographicOrder(blocks))
+            synthesize(i);
+    } else {
+        // Lookahead scheduling (Sec. V-B): start from the block with
+        // the largest active length; then repeatedly rank remaining
+        // blocks by similarity to the last scheduled block, and among
+        // the top-K pick the one with the cheapest root clustering
+        // under the live layout.
+        std::vector<size_t> remaining(ir.size());
+        std::iota(remaining.begin(), remaining.end(), 0);
+
+        size_t first = 0;
+        for (size_t i = 1; i < remaining.size(); ++i) {
+            if (ir[remaining[i]].activeLength() >
+                ir[remaining[first]].activeLength()) {
+                first = i;
+            }
+        }
+        size_t last_block = remaining[first];
+        remaining.erase(remaining.begin() + first);
+        synthesize(last_block);
+
+        const size_t k =
+            std::max<size_t>(1, static_cast<size_t>(opts.lookaheadK));
+        std::vector<size_t> candidates;
+        while (!remaining.empty()) {
+            size_t take = std::min(k, remaining.size());
+            candidates.assign(remaining.begin(), remaining.end());
+            std::partial_sort(
+                candidates.begin(), candidates.begin() + take,
+                candidates.end(), [&](size_t a, size_t b) {
+                    double sa = blockSimilarity(ir[last_block], ir[a]);
+                    double sb = blockSimilarity(ir[last_block], ir[b]);
+                    if (sa != sb)
+                        return sa > sb;
+                    return a < b;
+                });
+
+            size_t chosen = candidates[0];
+            long best_cost =
+                synth.estimateRootClusterCost(ir[chosen], layout);
+            for (size_t i = 1; i < take; ++i) {
+                long cost = synth.estimateRootClusterCost(
+                    ir[candidates[i]], layout);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    chosen = candidates[i];
+                }
+            }
+
+            remaining.erase(std::find(remaining.begin(), remaining.end(),
+                                      chosen));
+            last_block = chosen;
+            synthesize(chosen);
+        }
+    }
+
+    if (opts.runPeephole)
+        circ = peepholeOptimize(circ);
+
+    auto t1 = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(t1 - t0).count();
+
+    result.circuit = std::move(circ);
+    result.finalLayout = layout;
+    finalizeStats(result.circuit, naiveCnotCount(blocks), seconds,
+                  synth_stats, result.stats);
+    return result;
+}
+
+} // namespace tetris

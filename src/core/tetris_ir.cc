@@ -1,0 +1,181 @@
+#include "core/tetris_ir.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+TetrisBlock::TetrisBlock(PauliBlock block) : block_(std::move(block))
+{
+    leafSet_ = block_.commonQubits();
+    rootSet_ = block_.rootQubits();
+    activeLength_ = block_.activeLength();
+}
+
+PauliOp
+TetrisBlock::leafOp(size_t qubit) const
+{
+    TETRIS_ASSERT(std::binary_search(leafSet_.begin(), leafSet_.end(),
+                                     qubit),
+                  "not a leaf qubit");
+    return block_.strings().front().op(qubit);
+}
+
+bool
+TetrisBlock::hasUniformRootSupport() const
+{
+    for (const auto &s : block_.strings()) {
+        for (size_t q : rootSet_) {
+            if (s.op(q) == PauliOp::I)
+                return false;
+        }
+    }
+    return true;
+}
+
+std::string
+TetrisBlock::toText() const
+{
+    // Qubit order annotation: root qubits first, then leaf qubits.
+    std::ostringstream os;
+    os << "{ ";
+    for (size_t q : rootSet_)
+        os << q << " ";
+    os << "| ";
+    for (size_t q : leafSet_)
+        os << q << " ";
+    os << ", {";
+    for (size_t i = 0; i < block_.size(); ++i) {
+        const auto &s = block_.string(i);
+        os << (i ? ", " : "");
+        for (size_t q : rootSet_)
+            os << pauliChar(s.op(q));
+        // Interior strings elide the common section; boundary strings
+        // render it lower-case (the cancellable peripheral section).
+        if (i == 0 || i + 1 == block_.size()) {
+            for (size_t q : leafSet_) {
+                os << static_cast<char>(
+                    std::tolower(pauliChar(s.op(q))));
+            }
+        }
+    }
+    os << "}, theta=" << block_.theta() << " }";
+    return os.str();
+}
+
+double
+blockSimilarity(const TetrisBlock &a, const TetrisBlock &b)
+{
+    size_t common = 0;
+    // Leaf sets are sorted ascending; intersect with matching ops.
+    size_t i = 0, j = 0;
+    const auto &la = a.leafSet();
+    const auto &lb = b.leafSet();
+    while (i < la.size() && j < lb.size()) {
+        if (la[i] < lb[j]) {
+            ++i;
+        } else if (la[i] > lb[j]) {
+            ++j;
+        } else {
+            if (a.leafOp(la[i]) == b.leafOp(lb[j]))
+                ++common;
+            ++i;
+            ++j;
+        }
+    }
+    size_t denom = la.size() + lb.size() - common;
+    double eq1 = denom == 0 ? 0.0
+                            : static_cast<double>(common) /
+                                  static_cast<double>(denom);
+
+    // Tie-break with boundary-string similarity: when leaf sets are
+    // uninformative (e.g. Bravyi-Kitaev blocks), adjacency of blocks
+    // whose boundary strings share operators still enables peephole
+    // cancellation. Scaled so it can never override Eq. 1.
+    const PauliString &tail = a.block().strings().back();
+    const PauliString &head = b.block().strings().front();
+    size_t boundary = 0;
+    for (size_t q = 0; q < tail.numQubits(); ++q) {
+        if (tail.op(q) != PauliOp::I && tail.op(q) == head.op(q))
+            ++boundary;
+    }
+    double tie = static_cast<double>(boundary) /
+                 static_cast<double>(tail.numQubits() + 1);
+    return eq1 + 1e-3 * tie;
+}
+
+PauliBlock
+reorderForConsecutiveSimilarity(const PauliBlock &block)
+{
+    const size_t n = block.size();
+    if (n <= 2)
+        return block;
+
+    // Reordering changes the rotation product order, which is only
+    // semantics-preserving when the strings mutually commute (true
+    // for UCCSD excitation blocks); otherwise pass through.
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+            if (!block.string(i).commutesWith(block.string(j)))
+                return block;
+        }
+    }
+
+    auto common = [&](size_t i, size_t j) {
+        const PauliString &a = block.string(i);
+        const PauliString &b = block.string(j);
+        size_t c = 0;
+        for (size_t q = 0; q < a.numQubits(); ++q) {
+            if (a.op(q) != PauliOp::I && a.op(q) == b.op(q))
+                ++c;
+        }
+        return c;
+    };
+
+    std::vector<size_t> order{0};
+    std::vector<bool> used(n, false);
+    used[0] = true;
+    while (order.size() < n) {
+        size_t last = order.back();
+        size_t best = n;
+        size_t best_common = 0;
+        for (size_t j = 0; j < n; ++j) {
+            if (used[j])
+                continue;
+            size_t c = common(last, j);
+            if (best == n || c > best_common) {
+                best = j;
+                best_common = c;
+            }
+        }
+        used[best] = true;
+        order.push_back(best);
+    }
+
+    std::vector<PauliString> strings;
+    std::vector<double> weights;
+    strings.reserve(n);
+    weights.reserve(n);
+    for (size_t idx : order) {
+        strings.push_back(block.string(idx));
+        weights.push_back(block.weight(idx));
+    }
+    return PauliBlock(std::move(strings), std::move(weights),
+                      block.theta());
+}
+
+std::vector<TetrisBlock>
+buildTetrisIr(const std::vector<PauliBlock> &blocks)
+{
+    std::vector<TetrisBlock> out;
+    out.reserve(blocks.size());
+    for (const auto &b : blocks)
+        out.emplace_back(b);
+    return out;
+}
+
+} // namespace tetris

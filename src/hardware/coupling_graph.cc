@@ -1,0 +1,134 @@
+#include "hardware/coupling_graph.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+namespace
+{
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+} // namespace
+
+CouplingGraph::CouplingGraph(int num_qubits,
+                             std::vector<std::pair<int, int>> edges,
+                             std::string name)
+    : numQubits_(num_qubits), name_(std::move(name)),
+      edges_(std::move(edges)), adj_(num_qubits)
+{
+    for (auto &[a, b] : edges_) {
+        TETRIS_ASSERT(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_,
+                      "edge endpoint out of range");
+        TETRIS_ASSERT(a != b, "self edge");
+        adj_[a].push_back(b);
+        adj_[b].push_back(a);
+    }
+    for (auto &nbrs : adj_)
+        std::sort(nbrs.begin(), nbrs.end());
+
+    // All-pairs BFS.
+    dist_.assign(numQubits_, std::vector<int>(numQubits_, kInf));
+    for (int s = 0; s < numQubits_; ++s) {
+        dist_[s][s] = 0;
+        std::deque<int> queue{s};
+        while (!queue.empty()) {
+            int u = queue.front();
+            queue.pop_front();
+            for (int v : adj_[u]) {
+                if (dist_[s][v] == kInf) {
+                    dist_[s][v] = dist_[s][u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+}
+
+bool
+CouplingGraph::connected(int a, int b) const
+{
+    return dist_[a][b] == 1;
+}
+
+bool
+CouplingGraph::isConnected() const
+{
+    for (int q = 0; q < numQubits_; ++q) {
+        if (dist_[0][q] >= kInf)
+            return false;
+    }
+    return true;
+}
+
+std::vector<int>
+CouplingGraph::shortestPath(int a, int b,
+                            const std::vector<bool> *blocked) const
+{
+    if (a == b)
+        return {a};
+
+    std::vector<int> parent(numQubits_, -1);
+    std::deque<int> queue{a};
+    std::vector<bool> seen(numQubits_, false);
+    seen[a] = true;
+    while (!queue.empty()) {
+        int u = queue.front();
+        queue.pop_front();
+        for (int v : adj_[u]) {
+            if (seen[v])
+                continue;
+            if (blocked && (*blocked)[v] && v != b)
+                continue;
+            seen[v] = true;
+            parent[v] = u;
+            if (v == b) {
+                std::vector<int> path{b};
+                for (int x = u; x != -1; x = parent[x])
+                    path.push_back(x);
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            queue.push_back(v);
+        }
+    }
+    return {};
+}
+
+int
+CouplingGraph::findCenter(const std::vector<int> &terminals) const
+{
+    TETRIS_ASSERT(!terminals.empty(), "findCenter with no terminals");
+    // Minimize eccentricity w.r.t. the terminals, breaking ties by
+    // total distance, then by node index (deterministic).
+    int best = -1;
+    long best_ecc = std::numeric_limits<long>::max();
+    long best_total = std::numeric_limits<long>::max();
+    for (int c = 0; c < numQubits_; ++c) {
+        long ecc = 0, total = 0;
+        for (int t : terminals) {
+            ecc = std::max<long>(ecc, dist_[c][t]);
+            total += dist_[c][t];
+        }
+        if (ecc < best_ecc || (ecc == best_ecc && total < best_total)) {
+            best_ecc = ecc;
+            best_total = total;
+            best = c;
+        }
+    }
+    return best;
+}
+
+int
+CouplingGraph::maxDegree() const
+{
+    size_t d = 0;
+    for (const auto &nbrs : adj_)
+        d = std::max(d, nbrs.size());
+    return static_cast<int>(d);
+}
+
+} // namespace tetris

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Hardware coupling graph with distance and path queries.
+ */
+
+#ifndef TETRIS_HARDWARE_COUPLING_GRAPH_HH
+#define TETRIS_HARDWARE_COUPLING_GRAPH_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tetris
+{
+
+/**
+ * Undirected connectivity graph of a quantum device. Nodes are
+ * physical qubits. All-pairs BFS distances are computed once at
+ * construction (devices here are <= a few hundred qubits).
+ */
+class CouplingGraph
+{
+  public:
+    /** Build from an explicit edge list over n nodes. */
+    CouplingGraph(int num_qubits,
+                  std::vector<std::pair<int, int>> edges,
+                  std::string name = "custom");
+
+    int numQubits() const { return numQubits_; }
+    const std::string &name() const { return name_; }
+    const std::vector<std::pair<int, int>> &edges() const { return edges_; }
+    const std::vector<int> &neighbors(int q) const { return adj_[q]; }
+
+    /** True if (a, b) is an edge. */
+    bool connected(int a, int b) const;
+
+    /** BFS hop distance between two physical qubits. */
+    int distance(int a, int b) const { return dist_[a][b]; }
+
+    /** True if the whole graph is one connected component. */
+    bool isConnected() const;
+
+    /**
+     * One shortest path from a to b (inclusive of both endpoints).
+     * If `blocked` is non-null, nodes marked true are not traversed
+     * (endpoints are always allowed). Returns an empty vector if no
+     * path exists under the blocking constraints.
+     */
+    std::vector<int> shortestPath(int a, int b,
+                                  const std::vector<bool> *blocked
+                                  = nullptr) const;
+
+    /**
+     * The physical node minimizing the total BFS distance to the
+     * given terminals (ties broken by lower index).
+     */
+    int findCenter(const std::vector<int> &terminals) const;
+
+    /** Maximum node degree (used by topology tests). */
+    int maxDegree() const;
+
+  private:
+    int numQubits_;
+    std::string name_;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> adj_;
+    std::vector<std::vector<int>> dist_;
+};
+
+} // namespace tetris
+
+#endif // TETRIS_HARDWARE_COUPLING_GRAPH_HH

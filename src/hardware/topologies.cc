@@ -1,0 +1,140 @@
+#include "hardware/topologies.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+CouplingGraph
+lineTopology(int n)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < n; ++i)
+        edges.emplace_back(i, i + 1);
+    return CouplingGraph(n, std::move(edges),
+                         "line-" + std::to_string(n));
+}
+
+CouplingGraph
+ringTopology(int n)
+{
+    TETRIS_ASSERT(n >= 3, "ring needs >= 3 nodes");
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n; ++i)
+        edges.emplace_back(i, (i + 1) % n);
+    return CouplingGraph(n, std::move(edges),
+                         "ring-" + std::to_string(n));
+}
+
+CouplingGraph
+gridTopology(int rows, int cols)
+{
+    std::vector<std::pair<int, int>> edges;
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                edges.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                edges.emplace_back(id(r, c), id(r + 1, c));
+        }
+    }
+    return CouplingGraph(rows * cols, std::move(edges),
+                         "grid-" + std::to_string(rows) + "x" +
+                             std::to_string(cols));
+}
+
+CouplingGraph
+heavyHexTopology(int rows, int cols, int trim_last_bridges)
+{
+    TETRIS_ASSERT(rows >= 1 && cols >= 1);
+
+    // Count bridges per gap first so node ids can be assigned in
+    // reading order: row 0, gap-0 bridges, row 1, gap-1 bridges, ...
+    auto bridge_cols = [cols](int gap) {
+        std::vector<int> bc;
+        for (int c = gap % 2 == 0 ? 0 : 2; c < cols; c += 4)
+            bc.push_back(c);
+        return bc;
+    };
+
+    int total_bridges = 0;
+    for (int g = 0; g + 1 < rows; ++g)
+        total_bridges += static_cast<int>(bridge_cols(g).size());
+    TETRIS_ASSERT(trim_last_bridges >= 0 &&
+                  trim_last_bridges <= total_bridges);
+    int kept_bridges = total_bridges - trim_last_bridges;
+
+    std::vector<std::pair<int, int>> edges;
+    std::vector<int> row_base(rows);
+    int next_id = 0;
+    int bridges_emitted = 0;
+
+    for (int r = 0; r < rows; ++r) {
+        row_base[r] = next_id;
+        next_id += cols;
+        for (int c = 0; c + 1 < cols; ++c)
+            edges.emplace_back(row_base[r] + c, row_base[r] + c + 1);
+        if (r + 1 >= rows)
+            continue;
+        // Bridges in gap r sit between row r (already numbered) and
+        // row r+1 (numbered next); we know row r+1's base in advance.
+        int next_row_base = next_id + static_cast<int>(
+            bridge_cols(r).size());
+        // Account for bridges that will be trimmed in this gap.
+        int usable = kept_bridges - bridges_emitted;
+        const auto bc = bridge_cols(r);
+        int in_gap = std::min<int>(usable, static_cast<int>(bc.size()));
+        next_row_base = next_id + in_gap;
+        for (int k = 0; k < in_gap; ++k) {
+            int bridge = next_id++;
+            ++bridges_emitted;
+            edges.emplace_back(row_base[r] + bc[k], bridge);
+            edges.emplace_back(bridge, next_row_base + bc[k]);
+        }
+    }
+
+    return CouplingGraph(next_id, std::move(edges),
+                         "heavy-hex-" + std::to_string(rows) + "x" +
+                             std::to_string(cols));
+}
+
+CouplingGraph
+ibmIthaca65()
+{
+    // 5 rows x 11 data qubits = 55, plus 12 bridges minus 2 trimmed
+    // from the last gap = 65 qubits, degree <= 3.
+    std::vector<std::pair<int, int>> edges =
+        heavyHexTopology(5, 11, 2).edges();
+    return CouplingGraph(65, std::move(edges), "ibm-ithaca-65");
+}
+
+CouplingGraph
+sycamoreTopology(int rows, int cols)
+{
+    std::vector<std::pair<int, int>> edges;
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r + 1 < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            edges.emplace_back(id(r, c), id(r + 1, c));
+            int diag = r % 2 == 0 ? c + 1 : c - 1;
+            if (diag >= 0 && diag < cols)
+                edges.emplace_back(id(r, c), id(r + 1, diag));
+        }
+    }
+    return CouplingGraph(rows * cols, std::move(edges),
+                         "sycamore-" + std::to_string(rows) + "x" +
+                             std::to_string(cols));
+}
+
+CouplingGraph
+googleSycamore64()
+{
+    std::vector<std::pair<int, int>> edges =
+        sycamoreTopology(8, 8).edges();
+    return CouplingGraph(64, std::move(edges), "google-sycamore-64");
+}
+
+} // namespace tetris

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Device topology generators.
+ *
+ * Provides the two evaluation backends of the paper -- an IBM
+ * heavy-hex-like 65-qubit device ("ithaca") and a Google
+ * Sycamore-like 64-qubit device -- plus simple line/ring/grid
+ * topologies used in tests and examples.
+ *
+ * The heavy-hex generator follows the published lattice style: rows
+ * of linearly connected data qubits joined by degree-2 bridge qubits
+ * whose columns alternate between rows, keeping max degree 3. The
+ * exact IBM edge list is not in the paper; see DESIGN.md
+ * "Substitutions".
+ */
+
+#ifndef TETRIS_HARDWARE_TOPOLOGIES_HH
+#define TETRIS_HARDWARE_TOPOLOGIES_HH
+
+#include "hardware/coupling_graph.hh"
+
+namespace tetris
+{
+
+/** A 1-D chain of n qubits. */
+CouplingGraph lineTopology(int n);
+
+/** A cycle of n qubits. */
+CouplingGraph ringTopology(int n);
+
+/** A rows x cols nearest-neighbor grid. */
+CouplingGraph gridTopology(int rows, int cols);
+
+/**
+ * A heavy-hex lattice: `rows` rows of `cols` chained data qubits;
+ * between consecutive rows, bridge qubits at columns 0,4,8,... (even
+ * gaps) or 2,6,10,... (odd gaps). `trim_last_bridges` removes that
+ * many of the highest-numbered bridge qubits (used to hit an exact
+ * device size while preserving connectivity).
+ */
+CouplingGraph heavyHexTopology(int rows, int cols,
+                               int trim_last_bridges = 0);
+
+/** The 65-qubit heavy-hex evaluation backend (IBM-ithaca-like). */
+CouplingGraph ibmIthaca65();
+
+/**
+ * A Sycamore-style diagonal lattice: each qubit couples to two
+ * qubits in the row above and two in the row below (degree <= 4).
+ */
+CouplingGraph sycamoreTopology(int rows, int cols);
+
+/** The 64-qubit Sycamore-like evaluation backend (8 per row). */
+CouplingGraph googleSycamore64();
+
+} // namespace tetris
+
+#endif // TETRIS_HARDWARE_TOPOLOGIES_HH

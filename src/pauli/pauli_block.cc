@@ -1,0 +1,121 @@
+#include "pauli/pauli_block.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+PauliBlock::PauliBlock(std::vector<PauliString> strings, double theta)
+    : strings_(std::move(strings)), weights_(strings_.size(), 1.0),
+      theta_(theta)
+{
+    TETRIS_ASSERT(!strings_.empty(), "empty PauliBlock");
+}
+
+PauliBlock::PauliBlock(std::vector<PauliString> strings,
+                       std::vector<double> weights, double theta)
+    : strings_(std::move(strings)), weights_(std::move(weights)),
+      theta_(theta)
+{
+    TETRIS_ASSERT(!strings_.empty(), "empty PauliBlock");
+    TETRIS_ASSERT(weights_.size() == strings_.size(),
+                  "weight/string arity mismatch");
+}
+
+size_t
+PauliBlock::numQubits() const
+{
+    return strings_.empty() ? 0 : strings_.front().numQubits();
+}
+
+std::vector<size_t>
+PauliBlock::support() const
+{
+    std::vector<bool> active(numQubits(), false);
+    for (const auto &s : strings_) {
+        for (size_t q = 0; q < s.numQubits(); ++q) {
+            if (s.op(q) != PauliOp::I)
+                active[q] = true;
+        }
+    }
+    std::vector<size_t> out;
+    for (size_t q = 0; q < active.size(); ++q) {
+        if (active[q])
+            out.push_back(q);
+    }
+    return out;
+}
+
+std::vector<size_t>
+PauliBlock::commonQubits() const
+{
+    std::vector<size_t> out;
+    const PauliString &first = strings_.front();
+    for (size_t q = 0; q < numQubits(); ++q) {
+        PauliOp p = first.op(q);
+        if (p == PauliOp::I)
+            continue;
+        bool common = true;
+        for (size_t i = 1; i < strings_.size(); ++i) {
+            if (strings_[i].op(q) != p) {
+                common = false;
+                break;
+            }
+        }
+        if (common)
+            out.push_back(q);
+    }
+    return out;
+}
+
+std::vector<size_t>
+PauliBlock::rootQubits() const
+{
+    std::vector<size_t> sup = support();
+    std::vector<size_t> common = commonQubits();
+    std::vector<size_t> out;
+    std::set_difference(sup.begin(), sup.end(), common.begin(), common.end(),
+                        std::back_inserter(out));
+    return out;
+}
+
+size_t
+PauliBlock::commonOperatorCount(const PauliString &a, const PauliString &b)
+{
+    TETRIS_ASSERT(a.numQubits() == b.numQubits());
+    size_t c = 0;
+    for (size_t q = 0; q < a.numQubits(); ++q) {
+        if (a.op(q) != PauliOp::I && a.op(q) == b.op(q))
+            ++c;
+    }
+    return c;
+}
+
+size_t
+maxCancelCnotBound(const std::vector<PauliBlock> &blocks)
+{
+    size_t bound = 0;
+    const PauliString *prev = nullptr;
+    for (const auto &b : blocks) {
+        for (const auto &s : b.strings()) {
+            if (prev) {
+                // A common section of c qubits in the leaf tree has
+                // c-1 internal (cancellable) edges, bounded by the
+                // tree size of either neighbor.
+                size_t c = std::min({
+                    PauliBlock::commonOperatorCount(*prev, s),
+                    prev->weight(),
+                    s.weight(),
+                });
+                if (c >= 2)
+                    bound += 2 * (c - 1);
+            }
+            prev = &s;
+        }
+    }
+    return bound;
+}
+
+} // namespace tetris

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Blocks of Pauli strings sharing a rotation-angle parameter.
+ *
+ * A block corresponds to one term group of the ansatz construction
+ * (e.g. one excitation operator in UCCSD or one graph edge in QAOA).
+ * Strings within a block share a common angle factor and typically
+ * exhibit high pairwise similarity; this is the unit the Tetris
+ * compiler schedules and synthesizes ("Tetris block" in the paper).
+ */
+
+#ifndef TETRIS_PAULI_PAULI_BLOCK_HH
+#define TETRIS_PAULI_PAULI_BLOCK_HH
+
+#include <vector>
+
+#include "pauli/pauli_string.hh"
+
+namespace tetris
+{
+
+/**
+ * A list of weighted Pauli strings that share one rotation angle.
+ * Each string s contributes a sub-circuit exp(-i w_s theta / 2 * P_s).
+ */
+class PauliBlock
+{
+  public:
+    PauliBlock() = default;
+
+    /** Construct with uniform unit weights. */
+    PauliBlock(std::vector<PauliString> strings, double theta);
+
+    /** Construct with explicit per-string weights. */
+    PauliBlock(std::vector<PauliString> strings, std::vector<double> weights,
+               double theta);
+
+    size_t numQubits() const;
+    size_t size() const { return strings_.size(); }
+    bool empty() const { return strings_.empty(); }
+
+    const std::vector<PauliString> &strings() const { return strings_; }
+    const PauliString &string(size_t i) const { return strings_[i]; }
+    double weight(size_t i) const { return weights_[i]; }
+    double theta() const { return theta_; }
+
+    /** Union of string supports, ascending. */
+    std::vector<size_t> support() const;
+
+    /** Number of qubits in the union support (paper: active length). */
+    size_t activeLength() const { return support().size(); }
+
+    /**
+     * The leaf-tree qubit set: the maximal set of qubits on which all
+     * strings of the block carry the same non-identity operator.
+     */
+    std::vector<size_t> commonQubits() const;
+
+    /** The root-tree qubit set: support() minus commonQubits(). */
+    std::vector<size_t> rootQubits() const;
+
+    /** Qubits where both strings carry the same non-I operator. */
+    static size_t commonOperatorCount(const PauliString &a,
+                                      const PauliString &b);
+
+  private:
+    std::vector<PauliString> strings_;
+    std::vector<double> weights_;
+    double theta_ = 0.0;
+};
+
+/**
+ * Analytic upper bound on cancellable CNOTs for the string order
+ * implied by the block list (the paper's Fig. 2 "max_cancel"): at
+ * each boundary between consecutive strings, placing the shared
+ * operators in the leaf tree section cancels up to 2*(|C|-1) CNOTs,
+ * where C is the set of qubits carrying identical non-identity
+ * operators in both strings.
+ */
+size_t maxCancelCnotBound(const std::vector<PauliBlock> &blocks);
+
+} // namespace tetris
+
+#endif // TETRIS_PAULI_PAULI_BLOCK_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Single-qubit Pauli operators and their product algebra.
+ */
+
+#ifndef TETRIS_PAULI_PAULI_OP_HH
+#define TETRIS_PAULI_PAULI_OP_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+/** The four single-qubit Pauli operators. */
+enum class PauliOp : uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+/** Result of multiplying two Pauli operators: op and a power of i. */
+struct PauliProduct
+{
+    PauliOp op;
+    /** Phase as an exponent of i, in {0,1,2,3} (i^k). */
+    uint8_t phaseExp;
+};
+
+/**
+ * Multiply two single-qubit Paulis: a * b = i^phaseExp * op.
+ *
+ * XY = iZ, YZ = iX, ZX = iY and the reversed orders pick up -i.
+ */
+inline PauliProduct
+mulPauli(PauliOp a, PauliOp b)
+{
+    if (a == PauliOp::I)
+        return {b, 0};
+    if (b == PauliOp::I)
+        return {a, 0};
+    if (a == b)
+        return {PauliOp::I, 0};
+
+    // Remaining cases are the six ordered pairs of distinct non-I ops.
+    auto ia = static_cast<int>(a);
+    auto ib = static_cast<int>(b);
+    // The third operator: indices {1,2,3} sum to 6.
+    auto ic = 6 - ia - ib;
+    // Cyclic order X->Y->Z->X gives +i; anti-cyclic gives -i.
+    bool cyclic = (ib - ia + 3) % 3 == 1;
+    return {static_cast<PauliOp>(ic), static_cast<uint8_t>(cyclic ? 1 : 3)};
+}
+
+/** True if the two single-qubit operators commute. */
+inline bool
+commutes(PauliOp a, PauliOp b)
+{
+    return a == PauliOp::I || b == PauliOp::I || a == b;
+}
+
+/** One-letter name of a Pauli operator. */
+inline char
+pauliChar(PauliOp p)
+{
+    switch (p) {
+      case PauliOp::I: return 'I';
+      case PauliOp::X: return 'X';
+      case PauliOp::Y: return 'Y';
+      case PauliOp::Z: return 'Z';
+    }
+    panic("invalid PauliOp");
+}
+
+/** Parse a one-letter Pauli name; accepts upper and lower case. */
+inline PauliOp
+pauliFromChar(char c)
+{
+    switch (c) {
+      case 'I': case 'i': return PauliOp::I;
+      case 'X': case 'x': return PauliOp::X;
+      case 'Y': case 'y': return PauliOp::Y;
+      case 'Z': case 'z': return PauliOp::Z;
+      default: fatal("invalid Pauli character '", c, "'");
+    }
+}
+
+} // namespace tetris
+
+#endif // TETRIS_PAULI_PAULI_OP_HH

@@ -1,0 +1,88 @@
+#include "pauli/pauli_string.hh"
+
+namespace tetris
+{
+
+PauliString
+PauliString::fromText(const std::string &text)
+{
+    std::vector<PauliOp> ops;
+    ops.reserve(text.size());
+    for (char c : text)
+        ops.push_back(pauliFromChar(c));
+    return PauliString(std::move(ops));
+}
+
+size_t
+PauliString::weight() const
+{
+    size_t w = 0;
+    for (PauliOp p : ops_) {
+        if (p != PauliOp::I)
+            ++w;
+    }
+    return w;
+}
+
+std::vector<size_t>
+PauliString::support() const
+{
+    std::vector<size_t> s;
+    for (size_t q = 0; q < ops_.size(); ++q) {
+        if (ops_[q] != PauliOp::I)
+            s.push_back(q);
+    }
+    return s;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    TETRIS_ASSERT(numQubits() == other.numQubits());
+    // Strings commute iff they anticommute on an even number of qubits.
+    size_t anti = 0;
+    for (size_t q = 0; q < ops_.size(); ++q) {
+        if (!commutes(ops_[q], other.ops_[q]))
+            ++anti;
+    }
+    return anti % 2 == 0;
+}
+
+std::string
+PauliString::toText() const
+{
+    std::string s;
+    s.reserve(ops_.size());
+    for (PauliOp p : ops_)
+        s.push_back(pauliChar(p));
+    return s;
+}
+
+size_t
+PauliStringHash::operator()(const PauliString &s) const
+{
+    size_t h = 1469598103934665603ull;
+    for (PauliOp p : s.ops()) {
+        h ^= static_cast<size_t>(p);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+PauliStringProduct
+mulStrings(const PauliString &a, const PauliString &b)
+{
+    TETRIS_ASSERT(a.numQubits() == b.numQubits(),
+                  "string length mismatch");
+    std::vector<PauliOp> ops(a.numQubits());
+    unsigned phase = 0;
+    for (size_t q = 0; q < a.numQubits(); ++q) {
+        PauliProduct p = mulPauli(a.op(q), b.op(q));
+        ops[q] = p.op;
+        phase += p.phaseExp;
+    }
+    return {PauliString(std::move(ops)),
+            static_cast<uint8_t>(phase % 4)};
+}
+
+} // namespace tetris

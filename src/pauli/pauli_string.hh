@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dense Pauli strings (tensor products of single-qubit Paulis).
+ */
+
+#ifndef TETRIS_PAULI_PAULI_STRING_HH
+#define TETRIS_PAULI_PAULI_STRING_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pauli/pauli_op.hh"
+
+namespace tetris
+{
+
+/**
+ * A Pauli string over a fixed number of qubits, e.g. "XXYZI".
+ *
+ * Index 0 of the string corresponds to qubit 0. Strings are value
+ * types and hashable so they can key maps during term merging.
+ */
+class PauliString
+{
+  public:
+    PauliString() = default;
+
+    /** An all-identity string on n qubits. */
+    explicit PauliString(size_t n) : ops_(n, PauliOp::I) {}
+
+    /** Construct from explicit operators. */
+    explicit PauliString(std::vector<PauliOp> ops) : ops_(std::move(ops)) {}
+
+    /** Parse from text such as "XXYZI" (case-insensitive). */
+    static PauliString fromText(const std::string &text);
+
+    /** Number of qubits the string is defined over. */
+    size_t numQubits() const { return ops_.size(); }
+
+    /** Operator on one qubit. */
+    PauliOp op(size_t q) const { return ops_[q]; }
+
+    /** Set the operator on one qubit. */
+    void setOp(size_t q, PauliOp p) { ops_[q] = p; }
+
+    /** Number of non-identity operators (the paper's active length). */
+    size_t weight() const;
+
+    /** Qubits carrying a non-identity operator, ascending. */
+    std::vector<size_t> support() const;
+
+    /** True if no qubit carries a non-identity operator. */
+    bool isIdentity() const { return weight() == 0; }
+
+    /** True if this string commutes with the other (global phase). */
+    bool commutesWith(const PauliString &other) const;
+
+    /** Render as text, e.g. "XXYZI". */
+    std::string toText() const;
+
+    bool operator==(const PauliString &o) const { return ops_ == o.ops_; }
+    bool operator!=(const PauliString &o) const { return !(*this == o); }
+
+    /** Lexicographic order (for deterministic canonicalization). */
+    bool operator<(const PauliString &o) const { return ops_ < o.ops_; }
+
+    /** Access the raw operator vector. */
+    const std::vector<PauliOp> &ops() const { return ops_; }
+
+  private:
+    std::vector<PauliOp> ops_;
+};
+
+/** FNV-style hash over the operator vector. */
+struct PauliStringHash
+{
+    size_t operator()(const PauliString &s) const;
+};
+
+/**
+ * Multiply two equal-length strings; result operator vector plus the
+ * accumulated power-of-i phase.
+ */
+struct PauliStringProduct
+{
+    PauliString string;
+    uint8_t phaseExp;
+};
+
+PauliStringProduct mulStrings(const PauliString &a, const PauliString &b);
+
+} // namespace tetris
+
+#endif // TETRIS_PAULI_PAULI_STRING_HH

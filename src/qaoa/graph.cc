@@ -1,0 +1,114 @@
+#include "qaoa/graph.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tetris
+{
+
+Graph::Graph(int num_nodes, std::vector<std::pair<int, int>> edges)
+    : numNodes_(num_nodes), edges_(std::move(edges))
+{
+    std::set<std::pair<int, int>> seen;
+    for (auto &[u, v] : edges_) {
+        TETRIS_ASSERT(u >= 0 && u < numNodes_ && v >= 0 && v < numNodes_,
+                      "edge endpoint out of range");
+        TETRIS_ASSERT(u != v, "self loop");
+        if (u > v)
+            std::swap(u, v);
+        TETRIS_ASSERT(seen.insert({u, v}).second, "duplicate edge");
+    }
+}
+
+int
+Graph::degree(int v) const
+{
+    int d = 0;
+    for (const auto &[a, b] : edges_) {
+        if (a == v || b == v)
+            ++d;
+    }
+    return d;
+}
+
+Graph
+Graph::randomWithEdges(int num_nodes, int num_edges, uint64_t seed)
+{
+    const long max_edges =
+        static_cast<long>(num_nodes) * (num_nodes - 1) / 2;
+    TETRIS_ASSERT(num_edges <= max_edges, "too many edges requested");
+
+    Rng rng(seed);
+    std::set<std::pair<int, int>> picked;
+    while (static_cast<int>(picked.size()) < num_edges) {
+        int u = rng.uniformInt(0, num_nodes - 1);
+        int v = rng.uniformInt(0, num_nodes - 1);
+        if (u == v)
+            continue;
+        if (u > v)
+            std::swap(u, v);
+        picked.insert({u, v});
+    }
+    return Graph(num_nodes,
+                 std::vector<std::pair<int, int>>(picked.begin(),
+                                                  picked.end()));
+}
+
+Graph
+Graph::randomDensity(int num_nodes, double density, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<int, int>> edges;
+    for (int u = 0; u < num_nodes; ++u) {
+        for (int v = u + 1; v < num_nodes; ++v) {
+            if (rng.bernoulli(density))
+                edges.emplace_back(u, v);
+        }
+    }
+    return Graph(num_nodes, std::move(edges));
+}
+
+Graph
+Graph::regular(int num_nodes, int degree, uint64_t seed)
+{
+    TETRIS_ASSERT(num_nodes * degree % 2 == 0,
+                  "n*d must be even for a regular graph");
+    Rng rng(seed);
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        std::vector<int> stubs;
+        stubs.reserve(num_nodes * degree);
+        for (int v = 0; v < num_nodes; ++v) {
+            for (int k = 0; k < degree; ++k)
+                stubs.push_back(v);
+        }
+        rng.shuffle(stubs);
+
+        std::set<std::pair<int, int>> picked;
+        bool ok = true;
+        for (size_t i = 0; i < stubs.size(); i += 2) {
+            int u = stubs[i], v = stubs[i + 1];
+            if (u == v) {
+                ok = false;
+                break;
+            }
+            if (u > v)
+                std::swap(u, v);
+            if (!picked.insert({u, v}).second) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            return Graph(num_nodes,
+                         std::vector<std::pair<int, int>>(picked.begin(),
+                                                          picked.end()));
+        }
+    }
+    fatal("failed to sample a ", degree, "-regular graph on ", num_nodes,
+          " nodes");
+}
+
+} // namespace tetris

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Simple undirected graphs and the seeded generators used by the
+ * QAOA benchmarks (random graphs with a fixed edge budget and
+ * d-regular graphs via the configuration model).
+ */
+
+#ifndef TETRIS_QAOA_GRAPH_HH
+#define TETRIS_QAOA_GRAPH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tetris
+{
+
+/** An undirected simple graph. */
+class Graph
+{
+  public:
+    Graph(int num_nodes, std::vector<std::pair<int, int>> edges);
+
+    int numNodes() const { return numNodes_; }
+    const std::vector<std::pair<int, int>> &edges() const { return edges_; }
+    size_t numEdges() const { return edges_.size(); }
+
+    /** Degree of one node. */
+    int degree(int v) const;
+
+    /** Erdos-Renyi-style graph with exactly num_edges edges. */
+    static Graph randomWithEdges(int num_nodes, int num_edges,
+                                 uint64_t seed);
+
+    /** Random graph with edge probability `density`. */
+    static Graph randomDensity(int num_nodes, double density,
+                               uint64_t seed);
+
+    /** Random d-regular graph (configuration model with retries). */
+    static Graph regular(int num_nodes, int degree, uint64_t seed);
+
+  private:
+    int numNodes_;
+    std::vector<std::pair<int, int>> edges_;
+};
+
+} // namespace tetris
+
+#endif // TETRIS_QAOA_GRAPH_HH

@@ -1,0 +1,61 @@
+#include "qaoa/qaoa.hh"
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+std::vector<PauliBlock>
+buildQaoaCostBlocks(const Graph &g, double gamma)
+{
+    std::vector<PauliBlock> blocks;
+    blocks.reserve(g.numEdges());
+    for (const auto &[u, v] : g.edges()) {
+        PauliString s(static_cast<size_t>(g.numNodes()));
+        s.setOp(u, PauliOp::Z);
+        s.setOp(v, PauliOp::Z);
+        blocks.push_back(PauliBlock({std::move(s)}, gamma));
+    }
+    return blocks;
+}
+
+Circuit
+qaoaInitialLayer(int num_qubits, int num_nodes)
+{
+    Circuit c(num_qubits);
+    for (int q = 0; q < num_nodes; ++q)
+        c.h(q);
+    return c;
+}
+
+Circuit
+qaoaMixerLayer(int num_qubits, int num_nodes, double beta)
+{
+    Circuit c(num_qubits);
+    for (int q = 0; q < num_nodes; ++q)
+        c.rx(q, 2.0 * beta);
+    return c;
+}
+
+const std::vector<QaoaBenchmarkSpec> &
+qaoaBenchmarks()
+{
+    // Edge counts for the random graphs match the paper's Table I
+    // (#Pauli = #edges: 25, 31, 40).
+    static const std::vector<QaoaBenchmarkSpec> specs = {
+        {"Rand-16", 16, 25, false}, {"Rand-18", 18, 31, false},
+        {"Rand-20", 20, 40, false}, {"REG3-16", 16, 3, true},
+        {"REG3-18", 18, 3, true},   {"REG3-20", 20, 3, true},
+    };
+    return specs;
+}
+
+Graph
+buildQaoaGraph(const QaoaBenchmarkSpec &spec, uint64_t seed)
+{
+    if (spec.isRegular)
+        return Graph::regular(spec.numNodes, spec.parameter, seed);
+    return Graph::randomWithEdges(spec.numNodes, spec.parameter, seed);
+}
+
+} // namespace tetris

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * QAOA MaxCut workload construction.
+ *
+ * One QAOA cost layer over a graph G is the product of
+ * exp(-i gamma/2 * Z_u Z_v) over edges (u, v); each edge becomes a
+ * single-string Pauli block (at most two non-identity operators, the
+ * regime where the paper's fast-bridging pass applies). The mixer
+ * and initial layers are single-qubit and are appended by the
+ * harness for the Table I gate accounting.
+ */
+
+#ifndef TETRIS_QAOA_QAOA_HH
+#define TETRIS_QAOA_QAOA_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "pauli/pauli_block.hh"
+#include "qaoa/graph.hh"
+
+namespace tetris
+{
+
+/** One ZZ Pauli block per edge of the graph. */
+std::vector<PauliBlock> buildQaoaCostBlocks(const Graph &g, double gamma);
+
+/** The initial |+>^n layer (H on every node). */
+Circuit qaoaInitialLayer(int num_qubits, int num_nodes);
+
+/** The RX(2*beta) mixer layer on every node. */
+Circuit qaoaMixerLayer(int num_qubits, int num_nodes, double beta);
+
+/** A named QAOA benchmark instance. */
+struct QaoaBenchmarkSpec
+{
+    std::string name;
+    int numNodes;
+    /** Edges for random graphs; degree for regular graphs. */
+    int parameter;
+    bool isRegular;
+};
+
+/** The paper's QAOA benchmark set (Rand-16/18/20, REG3-16/18/20). */
+const std::vector<QaoaBenchmarkSpec> &qaoaBenchmarks();
+
+/** Instantiate a benchmark graph for one seed. */
+Graph buildQaoaGraph(const QaoaBenchmarkSpec &spec, uint64_t seed);
+
+} // namespace tetris
+
+#endif // TETRIS_QAOA_QAOA_HH

@@ -1,0 +1,116 @@
+#include "router/router.hh"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+namespace
+{
+
+/** Indices of the next `window` two-qubit gates starting at `from`. */
+std::vector<size_t>
+upcomingTwoQubitGates(const Circuit &logical, size_t from, int window)
+{
+    std::vector<size_t> out;
+    const auto &gates = logical.gates();
+    for (size_t i = from; i < gates.size() &&
+                          out.size() < static_cast<size_t>(window);
+         ++i) {
+        if (gates[i].isTwoQubit())
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace
+
+RouteResult
+routeCircuit(const Circuit &logical, const CouplingGraph &hw,
+             RouterKind kind, int lookahead_window)
+{
+    const int num_logical = logical.numQubits();
+    TETRIS_ASSERT(num_logical <= hw.numQubits(),
+                  "circuit wider than the device");
+
+    RouteResult result;
+    result.physical = Circuit(hw.numQubits());
+    Layout layout(num_logical, hw.numQubits());
+
+    const auto &gates = logical.gates();
+    for (size_t gi = 0; gi < gates.size(); ++gi) {
+        const Gate &g = gates[gi];
+        if (!g.isTwoQubit()) {
+            Gate out = g;
+            out.q0 = layout.physOf(g.q0);
+            result.physical.add(out);
+            continue;
+        }
+
+        while (hw.distance(layout.physOf(g.q0), layout.physOf(g.q1)) >
+               1) {
+            int pu = layout.physOf(g.q0);
+            int pv = layout.physOf(g.q1);
+            std::pair<int, int> chosen{-1, -1};
+
+            if (kind == RouterKind::Greedy) {
+                std::vector<int> path = hw.shortestPath(pu, pv);
+                chosen = {path[0], path[1]};
+            } else {
+                // SabreLite: score candidate swaps by the decayed sum
+                // of post-swap distances over the lookahead window;
+                // require progress on the front gate to terminate.
+                auto window =
+                    upcomingTwoQubitGates(logical, gi, lookahead_window);
+                double best_score =
+                    std::numeric_limits<double>::infinity();
+                auto eval = [&](int a, int b) {
+                    int fu = pu == a ? b : (pu == b ? a : pu);
+                    int fv = pv == a ? b : (pv == b ? a : pv);
+                    if (hw.distance(fu, fv) >= hw.distance(pu, pv))
+                        return; // must make progress on the front gate
+                    double score = 0.0;
+                    double decay = 1.0;
+                    for (size_t wi : window) {
+                        int x = layout.physOf(gates[wi].q0);
+                        int y = layout.physOf(gates[wi].q1);
+                        int xs = x == a ? b : (x == b ? a : x);
+                        int ys = y == a ? b : (y == b ? a : y);
+                        score += decay * hw.distance(xs, ys);
+                        decay *= 0.8;
+                    }
+                    if (score < best_score) {
+                        best_score = score;
+                        chosen = {a, b};
+                    }
+                };
+                for (int nb : hw.neighbors(pu))
+                    eval(pu, nb);
+                for (int nb : hw.neighbors(pv))
+                    eval(pv, nb);
+                if (chosen.first < 0) {
+                    std::vector<int> path = hw.shortestPath(pu, pv);
+                    chosen = {path[0], path[1]};
+                }
+            }
+
+            result.physical.swap(chosen.first, chosen.second);
+            layout.applySwap(chosen.first, chosen.second);
+            ++result.insertedSwaps;
+        }
+
+        Gate out = g;
+        out.q0 = layout.physOf(g.q0);
+        out.q1 = layout.physOf(g.q1);
+        result.physical.add(out);
+    }
+
+    result.finalLayout = layout;
+    return result;
+}
+
+} // namespace tetris

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SWAP-insertion routers for logically synthesized circuits.
+ *
+ * The Tetris pipeline routes during synthesis; these routers serve
+ * the baselines that synthesize hardware-obliviously and transpile
+ * afterwards (max-cancel, the PCOAST proxy, the T|Ket> proxy):
+ *  - Greedy: route each two-qubit gate along a shortest path when it
+ *    becomes blocked (Qiskit BasicSwap-style).
+ *  - SabreLite: pick SWAPs scoring a decaying lookahead window of
+ *    upcoming two-qubit gates (SABRE-style heuristic).
+ */
+
+#ifndef TETRIS_ROUTER_ROUTER_HH
+#define TETRIS_ROUTER_ROUTER_HH
+
+#include "circuit/circuit.hh"
+#include "hardware/coupling_graph.hh"
+#include "hardware/layout.hh"
+
+namespace tetris
+{
+
+/** Routing strategies. */
+enum class RouterKind
+{
+    Greedy,
+    SabreLite,
+};
+
+/** Routing output: physical circuit + bookkeeping. */
+struct RouteResult
+{
+    Circuit physical;
+    Layout finalLayout;
+    size_t insertedSwaps = 0;
+};
+
+/**
+ * Insert SWAPs so every two-qubit gate of `logical` acts on coupled
+ * physical qubits. Starts from the identity layout; gate order is
+ * preserved.
+ */
+RouteResult routeCircuit(const Circuit &logical, const CouplingGraph &hw,
+                         RouterKind kind = RouterKind::Greedy,
+                         int lookahead_window = 20);
+
+} // namespace tetris
+
+#endif // TETRIS_ROUTER_ROUTER_HH

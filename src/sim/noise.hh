@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Depolarizing noise model and fidelity estimation.
+ *
+ * Reproduces the paper's fidelity methodology (Sec. VI-G): a
+ * depolarizing channel with parameter p2 = 1e-3 on every CNOT and
+ * p1 = 1e-4 on every single-qubit gate; fidelity is the probability
+ * of recovering |0...0> after running circuit + inverse(circuit).
+ * Under pure depolarizing noise this equals (to first order) the
+ * probability that no gate depolarized, which we expose analytically
+ * (estimatedSuccessProbability) and as a Monte-Carlo sampler that
+ * reproduces shot statistics.
+ */
+
+#ifndef TETRIS_SIM_NOISE_HH
+#define TETRIS_SIM_NOISE_HH
+
+#include "circuit/circuit.hh"
+#include "common/rng.hh"
+
+namespace tetris
+{
+
+/** Depolarizing error probabilities per gate class. */
+struct NoiseModel
+{
+    /** Depolarizing parameter per two-qubit (CNOT) gate. */
+    double p2 = 1e-3;
+    /** Depolarizing parameter per single-qubit gate. */
+    double p1 = 1e-4;
+};
+
+/**
+ * Analytic no-error probability of a circuit: the product of
+ * (1 - p) over all gates, with SWAP counted as three CNOTs.
+ */
+double estimatedSuccessProbability(const Circuit &c,
+                                   const NoiseModel &noise);
+
+/**
+ * Fidelity of the paper's randomized-benchmarking-style experiment:
+ * run circuit followed by its inverse under the noise model, report
+ * P(all zeros). Computed as the ESP of the doubled circuit.
+ */
+double echoFidelity(const Circuit &c, const NoiseModel &noise);
+
+/**
+ * Monte-Carlo estimate of echoFidelity with `shots` samples: each
+ * shot survives iff no gate depolarizes (a depolarized n-qubit
+ * subsystem has only ~4^-n chance of looking unaffected, which we
+ * neglect exactly as the analytic model does).
+ */
+double echoFidelityMonteCarlo(const Circuit &c, const NoiseModel &noise,
+                              Rng &rng, int shots);
+
+} // namespace tetris
+
+#endif // TETRIS_SIM_NOISE_HH

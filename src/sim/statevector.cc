@@ -1,0 +1,245 @@
+#include "sim/statevector.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+namespace
+{
+constexpr std::complex<double> kI{0.0, 1.0};
+} // namespace
+
+Statevector::Statevector(int num_qubits)
+    : numQubits_(num_qubits), amp_(size_t{1} << num_qubits, 0.0)
+{
+    TETRIS_ASSERT(num_qubits >= 1 && num_qubits <= 26,
+                  "statevector limited to 26 qubits");
+    amp_[0] = 1.0;
+}
+
+Statevector
+Statevector::random(int num_qubits, Rng &rng)
+{
+    Statevector sv(num_qubits);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    double norm2 = 0.0;
+    for (auto &a : sv.amp_) {
+        a = {gauss(rng.engine()), gauss(rng.engine())};
+        norm2 += std::norm(a);
+    }
+    double inv = 1.0 / std::sqrt(norm2);
+    for (auto &a : sv.amp_)
+        a *= inv;
+    return sv;
+}
+
+Statevector
+Statevector::fromAmplitudes(std::vector<Amplitude> amp)
+{
+    int n = 0;
+    while ((size_t{1} << n) < amp.size())
+        ++n;
+    TETRIS_ASSERT((size_t{1} << n) == amp.size(),
+                  "amplitude vector length must be a power of two");
+    Statevector sv(n);
+    sv.amp_ = std::move(amp);
+    return sv;
+}
+
+void
+Statevector::apply(const Gate &g)
+{
+    const size_t n = amp_.size();
+    const size_t bit0 = size_t{1} << g.q0;
+
+    switch (g.kind) {
+      case GateKind::H: {
+        const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+        for (size_t i = 0; i < n; ++i) {
+            if (i & bit0)
+                continue;
+            Amplitude a0 = amp_[i], a1 = amp_[i | bit0];
+            amp_[i] = (a0 + a1) * inv_sqrt2;
+            amp_[i | bit0] = (a0 - a1) * inv_sqrt2;
+        }
+        break;
+      }
+      case GateKind::X: {
+        for (size_t i = 0; i < n; ++i) {
+            if (!(i & bit0))
+                std::swap(amp_[i], amp_[i | bit0]);
+        }
+        break;
+      }
+      case GateKind::S: {
+        for (size_t i = 0; i < n; ++i) {
+            if (i & bit0)
+                amp_[i] *= kI;
+        }
+        break;
+      }
+      case GateKind::Sdg: {
+        for (size_t i = 0; i < n; ++i) {
+            if (i & bit0)
+                amp_[i] *= -kI;
+        }
+        break;
+      }
+      case GateKind::RZ: {
+        const Amplitude e0 = std::exp(-kI * (g.angle / 2.0));
+        const Amplitude e1 = std::exp(kI * (g.angle / 2.0));
+        for (size_t i = 0; i < n; ++i)
+            amp_[i] *= (i & bit0) ? e1 : e0;
+        break;
+      }
+      case GateKind::RX: {
+        const double c = std::cos(g.angle / 2.0);
+        const double s = std::sin(g.angle / 2.0);
+        for (size_t i = 0; i < n; ++i) {
+            if (i & bit0)
+                continue;
+            Amplitude a0 = amp_[i], a1 = amp_[i | bit0];
+            amp_[i] = c * a0 - kI * s * a1;
+            amp_[i | bit0] = c * a1 - kI * s * a0;
+        }
+        break;
+      }
+      case GateKind::CX: {
+        const size_t bit1 = size_t{1} << g.q1;
+        for (size_t i = 0; i < n; ++i) {
+            if ((i & bit0) && !(i & bit1))
+                std::swap(amp_[i], amp_[i | bit1]);
+        }
+        break;
+      }
+      case GateKind::SWAP: {
+        const size_t bit1 = size_t{1} << g.q1;
+        for (size_t i = 0; i < n; ++i) {
+            if ((i & bit0) && !(i & bit1))
+                std::swap(amp_[i], amp_[(i & ~bit0) | bit1]);
+        }
+        break;
+      }
+      case GateKind::MEASURE:
+        break; // Metrics-only marker; no state change modeled.
+      case GateKind::RESET: {
+        // Project onto |0> on this wire and renormalize.
+        double p0 = probZero(g.q0);
+        TETRIS_ASSERT(p0 > 1e-12, "reset of a qubit that is never |0>");
+        double inv = 1.0 / std::sqrt(p0);
+        for (size_t i = 0; i < n; ++i) {
+            if (i & bit0)
+                amp_[i] = 0.0;
+            else
+                amp_[i] *= inv;
+        }
+        break;
+      }
+    }
+}
+
+void
+Statevector::applyCircuit(const Circuit &c)
+{
+    TETRIS_ASSERT(c.numQubits() <= numQubits_,
+                  "circuit wider than the state");
+    for (const auto &g : c.gates())
+        apply(g);
+}
+
+void
+Statevector::applyPauli(const PauliString &p)
+{
+    TETRIS_ASSERT(static_cast<int>(p.numQubits()) <= numQubits_);
+    size_t x_mask = 0;
+    size_t z_mask = 0;
+    int num_y = 0;
+    for (size_t q = 0; q < p.numQubits(); ++q) {
+        switch (p.op(q)) {
+          case PauliOp::X:
+            x_mask |= size_t{1} << q;
+            break;
+          case PauliOp::Z:
+            z_mask |= size_t{1} << q;
+            break;
+          case PauliOp::Y:
+            x_mask |= size_t{1} << q;
+            z_mask |= size_t{1} << q;
+            ++num_y;
+            break;
+          case PauliOp::I:
+            break;
+        }
+    }
+
+    // Y = i X Z per wire, so P = i^{num_y} * (prod X) * (prod Z).
+    const Amplitude global = std::pow(kI, num_y % 4);
+
+    std::vector<Amplitude> out(amp_.size());
+    for (size_t i = 0; i < amp_.size(); ++i) {
+        // Z phase acts on the pre-X-flip basis state.
+        int parity = __builtin_popcountll(i & z_mask) & 1;
+        Amplitude v = amp_[i] * (parity ? -1.0 : 1.0) * global;
+        out[i ^ x_mask] = v;
+    }
+    amp_ = std::move(out);
+}
+
+void
+Statevector::applyPauliExp(const PauliString &p, double theta)
+{
+    Statevector rotated = *this;
+    rotated.applyPauli(p);
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    for (size_t i = 0; i < amp_.size(); ++i)
+        amp_[i] = c * amp_[i] - kI * s * rotated.amp_[i];
+}
+
+Statevector::Amplitude
+Statevector::inner(const Statevector &other) const
+{
+    TETRIS_ASSERT(numQubits_ == other.numQubits_);
+    Amplitude acc = 0.0;
+    for (size_t i = 0; i < amp_.size(); ++i)
+        acc += std::conj(amp_[i]) * other.amp_[i];
+    return acc;
+}
+
+double
+Statevector::overlapWith(const Statevector &other) const
+{
+    return std::norm(inner(other));
+}
+
+double
+Statevector::probZero(int q) const
+{
+    const size_t bit = size_t{1} << q;
+    double p = 0.0;
+    for (size_t i = 0; i < amp_.size(); ++i) {
+        if (!(i & bit))
+            p += std::norm(amp_[i]);
+    }
+    return p;
+}
+
+double
+Statevector::probAllZero() const
+{
+    return std::norm(amp_[0]);
+}
+
+double
+Statevector::norm() const
+{
+    double n2 = 0.0;
+    for (const auto &a : amp_)
+        n2 += std::norm(a);
+    return std::sqrt(n2);
+}
+
+} // namespace tetris

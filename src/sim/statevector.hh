@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * Used by the test suite to prove functional correctness of every
+ * synthesis path: a compiled circuit must act on |psi> exactly like
+ * the ordered product of exp(-i theta/2 P) rotations it implements,
+ * up to global phase, with ancilla qubits returned to |0>.
+ *
+ * Qubit 0 is the least significant bit of the basis-state index.
+ * Practical up to ~20 qubits; tests stay <= 12.
+ */
+
+#ifndef TETRIS_SIM_STATEVECTOR_HH
+#define TETRIS_SIM_STATEVECTOR_HH
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hh"
+#include "common/rng.hh"
+#include "pauli/pauli_string.hh"
+
+namespace tetris
+{
+
+/** A normalized pure state over n qubits. */
+class Statevector
+{
+  public:
+    using Amplitude = std::complex<double>;
+
+    /** The all-zeros computational basis state. */
+    explicit Statevector(int num_qubits);
+
+    /** A Haar-ish random normalized state (Gaussian amplitudes). */
+    static Statevector random(int num_qubits, Rng &rng);
+
+    /** Construct from an explicit amplitude vector (must be 2^n long). */
+    static Statevector fromAmplitudes(std::vector<Amplitude> amp);
+
+    int numQubits() const { return numQubits_; }
+    const std::vector<Amplitude> &amplitudes() const { return amp_; }
+
+    /** Apply one gate. MEASURE is a no-op; RESET projects onto |0>. */
+    void apply(const Gate &g);
+
+    /** Apply all gates of a circuit in order. */
+    void applyCircuit(const Circuit &c);
+
+    /** Apply a Pauli string operator P (unitary, Hermitian). */
+    void applyPauli(const PauliString &p);
+
+    /**
+     * Apply exp(-i theta/2 P) analytically:
+     * cos(theta/2) |psi> - i sin(theta/2) P |psi>.
+     */
+    void applyPauliExp(const PauliString &p, double theta);
+
+    /** <this|other>. */
+    Amplitude inner(const Statevector &other) const;
+
+    /** |<this|other>|^2 (global-phase insensitive). */
+    double overlapWith(const Statevector &other) const;
+
+    /** Probability that measuring qubit q yields 0. */
+    double probZero(int q) const;
+
+    /** Probability of the all-zeros outcome. */
+    double probAllZero() const;
+
+    /** Euclidean norm (should stay ~1). */
+    double norm() const;
+
+  private:
+    int numQubits_;
+    std::vector<Amplitude> amp_;
+};
+
+} // namespace tetris
+
+#endif // TETRIS_SIM_STATEVECTOR_HH

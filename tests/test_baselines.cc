@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Baseline compiler tests: Paulihedral, max-cancel, the T|Ket> and
+ * PCOAST proxies -- functional equivalence, compliance, and the
+ * comparative invariants the paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/max_cancel.hh"
+#include "baselines/naive.hh"
+#include "baselines/paulihedral.hh"
+#include "chem/uccsd.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+#include "test_util.hh"
+
+namespace tetris
+{
+namespace
+{
+
+std::vector<PauliBlock>
+smallWorkload(int num_qubits, int num_blocks, uint64_t seed)
+{
+    Rng rng(seed);
+    JordanWignerEncoding enc(num_qubits);
+    std::vector<PauliBlock> blocks;
+    for (int i = 0; i < num_blocks; ++i) {
+        auto picks = rng.sampleIndices(num_qubits, 4);
+        std::vector<int> m(picks.begin(), picks.end());
+        std::sort(m.begin(), m.end());
+        blocks.push_back(makeDoubleExcitation(enc, m[0], m[1], m[2],
+                                              m[3],
+                                              rng.uniform(0.1, 1.0)));
+    }
+    return blocks;
+}
+
+TEST(Paulihedral, EquivalenceAndCompliance)
+{
+    auto blocks = smallWorkload(6, 4, 31);
+    CouplingGraph hw = heavyHexTopology(2, 5);
+    CompileResult res = compilePaulihedral(blocks, hw);
+    Rng rng(32);
+    EXPECT_TRUE(
+        test::checkCompiledEquivalence(blocks, res, hw.numQubits(), rng));
+    EXPECT_TRUE(test::isHardwareCompliant(res.circuit, hw));
+}
+
+TEST(Paulihedral, WithoutPeepholeStillCorrect)
+{
+    auto blocks = smallWorkload(5, 3, 33);
+    CouplingGraph hw = lineTopology(6);
+    PaulihedralOptions opts;
+    opts.runPeephole = false;
+    CompileResult res = compilePaulihedral(blocks, hw, opts);
+    Rng rng(34);
+    EXPECT_TRUE(
+        test::checkCompiledEquivalence(blocks, res, hw.numQubits(), rng));
+}
+
+TEST(Paulihedral, PeepholeCancelsOneQubitGates)
+{
+    // Identical adjacent blocks guarantee basis-gate cancellation.
+    JordanWignerEncoding enc(6);
+    std::vector<PauliBlock> blocks;
+    blocks.push_back(makeDoubleExcitation(enc, 0, 1, 4, 5, 0.3));
+    blocks.push_back(makeDoubleExcitation(enc, 0, 1, 4, 5, 0.7));
+    CouplingGraph hw = lineTopology(6);
+    PaulihedralOptions with, without;
+    without.runPeephole = false;
+    CompileResult a = compilePaulihedral(blocks, hw, with);
+    CompileResult b = compilePaulihedral(blocks, hw, without);
+    EXPECT_LT(a.stats.oneQubitCount, b.stats.oneQubitCount);
+    EXPECT_LE(a.stats.cnotCount, b.stats.cnotCount);
+}
+
+TEST(MaxCancel, LogicalCircuitIsEquivalent)
+{
+    auto blocks = smallWorkload(6, 4, 35);
+    Circuit logical = synthesizeMaxCancelLogical(blocks);
+    CompileResult fake;
+    fake.circuit = logical;
+    fake.finalLayout = Layout(6, 6);
+    Rng rng(36);
+    EXPECT_TRUE(test::checkCompiledEquivalence(blocks, fake, 6, rng));
+}
+
+TEST(MaxCancel, AchievesClosedFormCancellation)
+{
+    // Single-leaf-tree: per block of s strings over common size L,
+    // emitted = naive - 2*(L-1)*(s-1). JW puts Z chains inside the
+    // excitation pairs, so (0,5)(6,9) gives chains {1..4} + {7,8}.
+    JordanWignerEncoding enc(10);
+    PauliBlock b = makeDoubleExcitation(enc, 0, 5, 6, 9, 0.3);
+    std::vector<PauliBlock> blocks{b};
+    size_t cx = 0;
+    synthesizeMaxCancelLogical(blocks, &cx);
+    size_t L = b.commonQubits().size();
+    ASSERT_EQ(L, 6u);
+    EXPECT_EQ(cx, naiveCnotCount(blocks) - 2 * (L - 1) * (8 - 1));
+}
+
+TEST(MaxCancel, RoutedResultIsEquivalentAndCompliant)
+{
+    auto blocks = smallWorkload(6, 3, 37);
+    CouplingGraph hw = heavyHexTopology(2, 5);
+    CompileResult res = compileMaxCancel(blocks, hw);
+    Rng rng(38);
+    EXPECT_TRUE(
+        test::checkCompiledEquivalence(blocks, res, hw.numQubits(), rng));
+    EXPECT_TRUE(test::isHardwareCompliant(res.circuit, hw));
+}
+
+TEST(PcoastProxy, EquivalentAndCompliant)
+{
+    auto blocks = smallWorkload(6, 3, 39);
+    CouplingGraph hw = heavyHexTopology(2, 5);
+    CompileResult res = compilePcoastProxy(blocks, hw);
+    Rng rng(40);
+    EXPECT_TRUE(
+        test::checkCompiledEquivalence(blocks, res, hw.numQubits(), rng));
+    EXPECT_TRUE(test::isHardwareCompliant(res.circuit, hw));
+}
+
+TEST(TketProxy, BothFlavorsEquivalentAndCompliant)
+{
+    auto blocks = smallWorkload(6, 3, 41);
+    CouplingGraph hw = heavyHexTopology(2, 5);
+    for (auto flavor : {TketFlavor::O2, TketFlavor::QiskitO3}) {
+        CompileResult res = compileTketProxy(blocks, hw, flavor);
+        Rng rng(42);
+        EXPECT_TRUE(test::checkCompiledEquivalence(blocks, res,
+                                                   hw.numQubits(), rng));
+        EXPECT_TRUE(test::isHardwareCompliant(res.circuit, hw));
+    }
+}
+
+TEST(Baselines, CancellationOrderingHolds)
+{
+    // The paper's Fig. 17 invariant on the logical circuit: PH
+    // cancels least, Tetris sits between PH and max-cancel.
+    JordanWignerEncoding enc(10);
+    std::vector<PauliBlock> blocks;
+    for (int a = 0; a < 2; ++a) {
+        for (int r = 8; r < 10; ++r) {
+            blocks.push_back(
+                makeDoubleExcitation(enc, a, a + 4, 5, r, 0.4));
+        }
+    }
+    CouplingGraph hw = lineTopology(10);
+
+    CompileResult ph = compilePaulihedral(blocks, hw);
+    CompileResult tet = compileTetris(blocks, hw);
+    size_t max_cx = 0;
+    synthesizeMaxCancelLogical(blocks, &max_cx);
+
+    // max-cancel logical CNOTs <= Tetris logical CNOTs is the upper
+    // bound on cancellation; PH should cancel no more than Tetris.
+    EXPECT_LE(max_cx, naiveCnotCount(blocks));
+    EXPECT_LE(tet.stats.logicalCnots, ph.stats.logicalCnots);
+}
+
+TEST(Baselines, TetrisBeatsPaulihedralOnChainHeavyWorkload)
+{
+    // Z-chain-heavy doubles (the molecule regime): total CNOTs.
+    JordanWignerEncoding enc(12);
+    std::vector<PauliBlock> blocks;
+    Rng rng(43);
+    for (int i = 0; i < 12; ++i) {
+        int p = rng.uniformInt(0, 2);
+        int q = rng.uniformInt(3, 5);
+        int r = rng.uniformInt(8, 9);
+        int s = rng.uniformInt(10, 11);
+        blocks.push_back(
+            makeDoubleExcitation(enc, p, q, r, s, rng.uniform(0.1, 1.0)));
+    }
+    CouplingGraph hw = heavyHexTopology(3, 5);
+    CompileResult ph = compilePaulihedral(blocks, hw);
+    CompileResult tet = compileTetris(blocks, hw);
+    EXPECT_LT(tet.stats.cnotCount, ph.stats.cnotCount);
+}
+
+TEST(Naive, LogicalCircuitMatchesTableOneAccounting)
+{
+    auto blocks = smallWorkload(6, 4, 45);
+    Circuit logical = synthesizeNaiveLogical(blocks);
+    EXPECT_EQ(logical.cnotCount(), naiveCnotCount(blocks));
+    // Emitted 1Q gates: 2 per X (H...H), 4 per Y (Sdg H ... H S),
+    // one RZ per string. Table I's #1Q merges the Y basis change
+    // into one u-gate per side, hence naiveOneQubitCount differs.
+    size_t expect = 0;
+    for (const auto &b : blocks) {
+        for (const auto &s : b.strings()) {
+            ++expect; // RZ
+            for (size_t q = 0; q < s.numQubits(); ++q) {
+                if (s.op(q) == PauliOp::X)
+                    expect += 2;
+                else if (s.op(q) == PauliOp::Y)
+                    expect += 4;
+            }
+        }
+    }
+    EXPECT_EQ(logical.oneQubitCount(), expect);
+}
+
+} // namespace
+} // namespace tetris

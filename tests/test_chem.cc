@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Chemistry substrate tests: canonical anticommutation relations for
+ * both encoders, excitation-operator structure, and the Table I
+ * benchmark statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "chem/encoding.hh"
+#include "chem/uccsd.hh"
+#include "pauli/pauli_sum.hh"
+
+namespace tetris
+{
+namespace
+{
+
+/** {A, B} = AB + BA. */
+PauliSum
+anticommutator(const PauliSum &a, const PauliSum &b)
+{
+    return (a * b + b * a).simplified();
+}
+
+/** True if the sum equals coeff * Identity. */
+bool
+isScaledIdentity(const PauliSum &s, std::complex<double> coeff)
+{
+    PauliSum r = s.simplified();
+    if (std::abs(coeff) < 1e-12)
+        return r.empty();
+    if (r.size() != 1)
+        return false;
+    return r.terms()[0].string.isIdentity() &&
+           std::abs(r.terms()[0].coeff - coeff) < 1e-9;
+}
+
+class EncodingCar : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EncodingCar, CanonicalAnticommutationRelations)
+{
+    const int n = 6;
+    auto enc = makeEncoding(GetParam(), n);
+    for (int p = 0; p < n; ++p) {
+        for (int q = 0; q < n; ++q) {
+            // {a_p, a_q^dag} = delta_pq.
+            auto mixed =
+                anticommutator(enc->annihilationOp(p), enc->creationOp(q));
+            EXPECT_TRUE(isScaledIdentity(mixed, p == q ? 1.0 : 0.0))
+                << GetParam() << " p=" << p << " q=" << q;
+            // {a_p, a_q} = 0.
+            auto same = anticommutator(enc->annihilationOp(p),
+                                       enc->annihilationOp(q));
+            EXPECT_TRUE(isScaledIdentity(same, 0.0))
+                << GetParam() << " p=" << p << " q=" << q;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, EncodingCar,
+                         ::testing::Values("jordan-wigner",
+                                           "bravyi-kitaev"));
+
+class EncodingNumberOp : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EncodingNumberOp, NumberOperatorIsAProjector)
+{
+    const int n = 5;
+    auto enc = makeEncoding(GetParam(), n);
+    for (int p = 0; p < n; ++p) {
+        PauliSum num =
+            (enc->creationOp(p) * enc->annihilationOp(p)).simplified();
+        // n_p^2 = n_p for a fermionic occupation operator.
+        PauliSum diff = (num * num - num).simplified();
+        EXPECT_TRUE(diff.empty()) << GetParam() << " p=" << p;
+        EXPECT_TRUE(num.isHermitian());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, EncodingNumberOp,
+                         ::testing::Values("jw", "bk"));
+
+TEST(JordanWigner, KnownOperatorForms)
+{
+    JordanWignerEncoding enc(3);
+    PauliSum a1 = enc.annihilationOp(1).simplified();
+    ASSERT_EQ(a1.size(), 2u);
+    // Terms sorted lexicographically: ZXI before ZYI.
+    EXPECT_EQ(a1.terms()[0].string.toText(), "ZXI");
+    EXPECT_EQ(a1.terms()[1].string.toText(), "ZYI");
+    EXPECT_NEAR(a1.terms()[0].coeff.real(), 0.5, 1e-12);
+    EXPECT_NEAR(a1.terms()[1].coeff.imag(), 0.5, 1e-12);
+}
+
+TEST(JordanWigner, SingleExcitationHasTwoStrings)
+{
+    JordanWignerEncoding enc(5);
+    PauliBlock b = makeSingleExcitation(enc, 1, 4, 0.3);
+    EXPECT_EQ(b.size(), 2u);
+    // X Z Z Y pattern on qubits 1..4 with Z padding between.
+    for (const auto &s : b.strings()) {
+        EXPECT_EQ(s.weight(), 4u);
+        EXPECT_EQ(s.op(0), PauliOp::I);
+        EXPECT_EQ(s.op(2), PauliOp::Z);
+        EXPECT_EQ(s.op(3), PauliOp::Z);
+    }
+}
+
+TEST(JordanWigner, DoubleExcitationHasEightStrings)
+{
+    JordanWignerEncoding enc(8);
+    PauliBlock b = makeDoubleExcitation(enc, 0, 1, 4, 6, 0.3);
+    EXPECT_EQ(b.size(), 8u);
+    // All eight strings share support {0,1,4,6} plus the Z chain {5}.
+    for (const auto &s : b.strings()) {
+        EXPECT_NE(s.op(0), PauliOp::I);
+        EXPECT_NE(s.op(1), PauliOp::I);
+        EXPECT_NE(s.op(4), PauliOp::I);
+        EXPECT_NE(s.op(6), PauliOp::I);
+        EXPECT_EQ(s.op(5), PauliOp::Z);
+        EXPECT_EQ(s.op(7), PauliOp::I);
+    }
+}
+
+TEST(JordanWigner, DoubleExcitationBlockHasNonTrivialSplit)
+{
+    JordanWignerEncoding enc(8);
+    PauliBlock b = makeDoubleExcitation(enc, 0, 1, 4, 6, 0.3);
+    // The four corners differ across strings (root), the Z chain is
+    // common (leaf).
+    EXPECT_EQ(b.rootQubits(), (std::vector<size_t>{0, 1, 4, 6}));
+    EXPECT_EQ(b.commonQubits(), (std::vector<size_t>{5}));
+}
+
+TEST(BravyiKitaev, FenwickSetsOnFourModes)
+{
+    BravyiKitaevEncoding enc(4);
+    // Tree on [0,3]: parent(1)=3, parent(0)=1, parent(2)=3.
+    EXPECT_EQ(enc.updateSet(0), (std::vector<int>{1, 3}));
+    EXPECT_EQ(enc.updateSet(2), (std::vector<int>{3}));
+    EXPECT_TRUE(enc.updateSet(3).empty());
+    EXPECT_EQ(enc.paritySet(2), (std::vector<int>{1}));
+    EXPECT_EQ(enc.paritySet(3), (std::vector<int>{1, 2}));
+    EXPECT_EQ(enc.flipSet(3), (std::vector<int>{1, 2}));
+    EXPECT_TRUE(enc.remainderSet(3).empty());
+    EXPECT_EQ(enc.remainderSet(2), (std::vector<int>{1}));
+}
+
+TEST(BravyiKitaev, OperatorLocalityIsLogarithmicOnAverage)
+{
+    // BK strings should be shorter than the O(n) JW chains for the
+    // highest modes.
+    const int n = 16;
+    BravyiKitaevEncoding bk(n);
+    JordanWignerEncoding jw(n);
+    size_t bk_weight = 0, jw_weight = 0;
+    for (int m = 0; m < n; ++m) {
+        const PauliSum bk_op = bk.annihilationOp(m);
+        for (const auto &t : bk_op.terms())
+            bk_weight += t.string.weight();
+        const PauliSum jw_op = jw.annihilationOp(m);
+        for (const auto &t : jw_op.terms())
+            jw_weight += t.string.weight();
+    }
+    EXPECT_LT(bk_weight, jw_weight);
+}
+
+TEST(Uccsd, MoleculePauliCountsMatchTableOne)
+{
+    // The paper's Table I (#Pauli column), reproduced exactly.
+    const std::vector<std::pair<std::string, size_t>> expect = {
+        {"LiH", 640},   {"BeH2", 1488},  {"CH4", 4240},
+        {"MgH2", 8400}, {"LiCl", 17280}, {"CO2", 20944},
+    };
+    for (const auto &[name, count] : expect) {
+        const MoleculeSpec &spec = moleculeByName(name);
+        auto blocks = buildMolecule(spec, "jw");
+        EXPECT_EQ(totalStrings(blocks), count) << name;
+    }
+}
+
+TEST(Uccsd, MoleculeGateCountsMatchTableOne)
+{
+    // Table I #CNOT and #1Q columns, reproduced exactly by the
+    // blocked spin ordering (the default).
+    struct Row
+    {
+        const char *name;
+        size_t cnot;
+        size_t one_q;
+    };
+    const std::vector<Row> expect = {
+        {"LiH", 8064, 4992},     {"BeH2", 21072, 11712},
+        {"CH4", 73680, 33600},   {"MgH2", 173264, 66752},
+        {"LiCl", 440960, 137600}, {"CO2", 568656, 166848},
+    };
+    for (const auto &row : expect) {
+        auto blocks = buildMolecule(moleculeByName(row.name), "jw");
+        EXPECT_EQ(naiveCnotCount(blocks), row.cnot) << row.name;
+        EXPECT_EQ(naiveOneQubitCount(blocks), row.one_q) << row.name;
+    }
+}
+
+TEST(Uccsd, BlockSizesAreTwoOrEightUnderJw)
+{
+    auto blocks = buildMolecule(moleculeByName("LiH"), "jw");
+    size_t singles = 0, doubles = 0;
+    for (const auto &b : blocks) {
+        if (b.size() == 2)
+            ++singles;
+        else if (b.size() == 8)
+            ++doubles;
+        else
+            FAIL() << "unexpected block size " << b.size();
+    }
+    EXPECT_EQ(singles, 16u);
+    EXPECT_EQ(doubles, 76u);
+}
+
+TEST(Uccsd, BravyiKitaevProducesSameBlockCount)
+{
+    auto jw = buildMolecule(moleculeByName("LiH"), "jw");
+    auto bk = buildMolecule(moleculeByName("LiH"), "bk");
+    EXPECT_EQ(jw.size(), bk.size());
+}
+
+TEST(Uccsd, SyntheticBenchmarksMatchTableOne)
+{
+    for (int n : {10, 15, 20}) {
+        auto blocks = buildSyntheticUcc(n, 1234);
+        EXPECT_EQ(blocks.size(), static_cast<size_t>(n * n));
+        EXPECT_EQ(totalStrings(blocks),
+                  static_cast<size_t>(8 * n * n));
+    }
+}
+
+TEST(Uccsd, SyntheticIsSeedDeterministic)
+{
+    auto a = buildSyntheticUcc(10, 7);
+    auto b = buildSyntheticUcc(10, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].string(0), b[i].string(0));
+    }
+}
+
+TEST(Uccsd, WeightsAreRealAndNonZero)
+{
+    JordanWignerEncoding enc(6);
+    PauliBlock b = makeDoubleExcitation(enc, 0, 1, 3, 5, 0.2);
+    for (size_t i = 0; i < b.size(); ++i)
+        EXPECT_GT(std::abs(b.weight(i)), 1e-6);
+}
+
+TEST(Uccsd, OrderingChangesChainLengths)
+{
+    const MoleculeSpec &spec = moleculeByName("LiH");
+    UccsdOptions blocked, interleaved;
+    blocked.ordering = SpinOrdering::Blocked;
+    interleaved.ordering = SpinOrdering::Interleaved;
+    auto a = buildMolecule(spec, "jw", blocked);
+    auto b = buildMolecule(spec, "jw", interleaved);
+    EXPECT_EQ(totalStrings(a), totalStrings(b));
+    // Chain lengths (and hence naive CNOT counts) differ.
+    EXPECT_NE(naiveCnotCount(a), naiveCnotCount(b));
+}
+
+TEST(Uccsd, NaiveCountsFormula)
+{
+    // One string "XZY" -> 2*(3-1) CNOTs, 2 basis pairs (X and Y).
+    PauliBlock b({PauliString::fromText("XZY")}, 0.1);
+    std::vector<PauliBlock> blocks{b};
+    EXPECT_EQ(naiveCnotCount(blocks), 4u);
+    EXPECT_EQ(naiveOneQubitCount(blocks), 4u);
+}
+
+TEST(Uccsd, UnknownMoleculeOrEncodingFails)
+{
+    EXPECT_DEATH(
+        { makeEncoding("bogus", 4); }, "unknown encoding");
+}
+
+} // namespace
+} // namespace tetris

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the common utility layer (rng, table/formatting) and
+ * assorted cross-module edge cases: the pairwise max-cancel bound,
+ * statevector construction, and peephole option handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "circuit/peephole.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "pauli/pauli_block.hh"
+#include "sim/statevector.hh"
+
+namespace tetris
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        int v = rng.uniformInt(-3, 7);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, SampleIndicesAreDistinct)
+{
+    Rng rng(2);
+    auto picks = rng.sampleIndices(20, 10);
+    std::set<size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (size_t p : picks)
+        EXPECT_LT(p, 20u);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(3);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(4);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Format, CountRendering)
+{
+    EXPECT_EQ(formatCount(8064), "8064");
+    EXPECT_EQ(formatCount(21072), "21.1k");
+    EXPECT_EQ(formatCount(130.9e6), "130.9M");
+}
+
+TEST(Format, PercentRendering)
+{
+    EXPECT_EQ(formatPercent(-0.313), "-31.3%");
+    EXPECT_EQ(formatPercent(0.5), "50.0%");
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    TablePrinter t({"a", "b"});
+    t.addRow({"1", "x"});
+    t.addRow({"2", "y"});
+    ASSERT_TRUE(t.writeCsv("/tmp/tetris_table.csv"));
+    std::ifstream in("/tmp/tetris_table.csv");
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,x");
+}
+
+TEST(MaxCancelBound, SimplePairs)
+{
+    // Two strings sharing ZZ on qubits 1,2: bound = 2*(2-1) = 2.
+    std::vector<PauliBlock> blocks{PauliBlock(
+        {PauliString::fromText("XZZI"), PauliString::fromText("YZZI")},
+        0.1)};
+    EXPECT_EQ(maxCancelCnotBound(blocks), 2u);
+}
+
+TEST(MaxCancelBound, NoSharedOperatorsNoBound)
+{
+    std::vector<PauliBlock> blocks{PauliBlock(
+        {PauliString::fromText("XXII"), PauliString::fromText("IIZZ")},
+        0.1)};
+    EXPECT_EQ(maxCancelCnotBound(blocks), 0u);
+}
+
+TEST(MaxCancelBound, CrossesBlockBoundaries)
+{
+    PauliBlock a({PauliString::fromText("XZZZ")}, 0.1);
+    PauliBlock b({PauliString::fromText("YZZZ")}, 0.2);
+    // One boundary, common = {1,2,3} -> 2*(3-1) = 4.
+    EXPECT_EQ(maxCancelCnotBound({a, b}), 4u);
+}
+
+TEST(Statevector, FromAmplitudesValidatesLength)
+{
+    std::vector<Statevector::Amplitude> amp(4, 0.0);
+    amp[2] = 1.0;
+    Statevector sv = Statevector::fromAmplitudes(amp);
+    EXPECT_EQ(sv.numQubits(), 2);
+    EXPECT_NEAR(sv.probZero(0), 1.0, 1e-12);
+    EXPECT_NEAR(sv.probZero(1), 0.0, 1e-12);
+}
+
+TEST(Peephole, ZeroPassesLeavesCircuitAlone)
+{
+    Circuit c(1);
+    c.h(0);
+    c.h(0);
+    PeepholeOptions opts;
+    opts.maxPasses = 0;
+    EXPECT_EQ(peepholeOptimize(c, nullptr, opts).size(), 2u);
+}
+
+TEST(Peephole, NonCommutativeModeStillCancelsAdjacent)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.cx(0, 1); // odd count: one must survive
+    PeepholeOptions opts;
+    opts.commutationAware = false;
+    Circuit r = peepholeOptimize(c, nullptr, opts);
+    EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Peephole, TinyScanWindowLimitsSearch)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.rz(0, 0.1);
+    c.rz(0, 0.2);
+    c.rz(0, 0.3);
+    c.cx(0, 1);
+    PeepholeOptions narrow;
+    narrow.scanWindow = 1;
+    // The CX pair needs to hop 1..3 diagonal gates (they merge over
+    // passes); with window 1 the partner may remain out of reach but
+    // the result must still be a valid sub-circuit.
+    Circuit r = peepholeOptimize(c, nullptr, narrow);
+    EXPECT_LE(r.size(), c.size());
+}
+
+} // namespace
+} // namespace tetris

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the library extensions: QASM export, within-block string
+ * reordering (Tetris-IR-recursive enabler), and the commuting-block
+ * property that makes the reordering semantics-preserving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "chem/uccsd.hh"
+#include "circuit/qasm.hh"
+#include "core/compiler.hh"
+#include "core/tetris_ir.hh"
+#include "hardware/topologies.hh"
+#include "test_util.hh"
+
+namespace tetris
+{
+namespace
+{
+
+TEST(Qasm, EmitsAllGateKinds)
+{
+    Circuit c(3);
+    c.h(0);
+    c.x(1);
+    c.s(2);
+    c.sdg(0);
+    c.rz(1, 0.5);
+    c.rx(2, -0.25);
+    c.cx(0, 1);
+    c.swap(1, 2);
+    c.measure(0);
+    c.reset(0);
+
+    std::string qasm = toQasm(c);
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("x q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("sdg q[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("rz(0.5) q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("cx q[0],q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("swap q[1],q[2];"), std::string::npos);
+    EXPECT_NE(qasm.find("measure q[0] -> m[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("reset q[0];"), std::string::npos);
+}
+
+TEST(Qasm, LineCountMatchesGateCount)
+{
+    Circuit c(2);
+    for (int i = 0; i < 10; ++i)
+        c.cx(0, 1);
+    std::string qasm = toQasm(c);
+    size_t lines = std::count(qasm.begin(), qasm.end(), '\n');
+    EXPECT_EQ(lines, 4u + 10u); // header(2) + regs(2) + gates
+}
+
+TEST(Qasm, WritesToFile)
+{
+    Circuit c(1);
+    c.h(0);
+    ASSERT_TRUE(writeQasm(c, "/tmp/tetris_test.qasm"));
+    std::ifstream in("/tmp/tetris_test.qasm");
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("h q[0];"), std::string::npos);
+}
+
+TEST(Reorder, UccsdBlockStringsMutuallyCommute)
+{
+    // The property that makes within-block reordering sound.
+    JordanWignerEncoding jw(8);
+    BravyiKitaevEncoding bk(8);
+    for (const FermionEncoding *enc :
+         {static_cast<const FermionEncoding *>(&jw),
+          static_cast<const FermionEncoding *>(&bk)}) {
+        PauliBlock d = makeDoubleExcitation(*enc, 0, 3, 4, 7, 0.3);
+        for (size_t i = 0; i < d.size(); ++i) {
+            for (size_t j = i + 1; j < d.size(); ++j) {
+                EXPECT_TRUE(d.string(i).commutesWith(d.string(j)))
+                    << enc->name() << " " << i << "," << j;
+            }
+        }
+        PauliBlock s = makeSingleExcitation(*enc, 1, 6, 0.3);
+        EXPECT_TRUE(s.string(0).commutesWith(s.string(1)));
+    }
+}
+
+TEST(Reorder, PreservesMultisetOfStrings)
+{
+    JordanWignerEncoding enc(8);
+    PauliBlock b = makeDoubleExcitation(enc, 0, 3, 4, 7, 0.3);
+    PauliBlock r = reorderForConsecutiveSimilarity(b);
+    ASSERT_EQ(r.size(), b.size());
+    std::vector<std::string> before, after;
+    for (size_t i = 0; i < b.size(); ++i) {
+        before.push_back(b.string(i).toText());
+        after.push_back(r.string(i).toText());
+    }
+    std::sort(before.begin(), before.end());
+    std::sort(after.begin(), after.end());
+    EXPECT_EQ(before, after);
+}
+
+TEST(Reorder, WeightsFollowTheirStrings)
+{
+    JordanWignerEncoding enc(8);
+    PauliBlock b = makeDoubleExcitation(enc, 0, 3, 4, 7, 0.3);
+    PauliBlock r = reorderForConsecutiveSimilarity(b);
+    for (size_t i = 0; i < r.size(); ++i) {
+        // Find the string in the original block and compare weights.
+        for (size_t j = 0; j < b.size(); ++j) {
+            if (b.string(j) == r.string(i)) {
+                EXPECT_DOUBLE_EQ(b.weight(j), r.weight(i));
+            }
+        }
+    }
+}
+
+TEST(Reorder, ImprovesConsecutiveSimilarity)
+{
+    JordanWignerEncoding enc(10);
+    PauliBlock b = makeDoubleExcitation(enc, 0, 5, 6, 9, 0.3);
+    PauliBlock r = reorderForConsecutiveSimilarity(b);
+    auto consec = [](const PauliBlock &blk) {
+        std::vector<PauliBlock> one{blk};
+        return maxCancelCnotBound(one);
+    };
+    EXPECT_GE(consec(r), consec(b));
+}
+
+TEST(Reorder, TinyBlocksPassThrough)
+{
+    PauliBlock b({PauliString::fromText("ZZ")}, 0.1);
+    PauliBlock r = reorderForConsecutiveSimilarity(b);
+    EXPECT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.string(0), b.string(0));
+}
+
+TEST(Reorder, CompiledResultStaysEquivalent)
+{
+    // Strings of an excitation block commute, so the reordered
+    // product equals the original product and the simulator check
+    // (which uses the *input* order) must still pass.
+    JordanWignerEncoding enc(7);
+    std::vector<PauliBlock> blocks = {
+        makeDoubleExcitation(enc, 0, 3, 4, 6, 0.4),
+        makeDoubleExcitation(enc, 1, 3, 4, 5, 0.7),
+    };
+    CouplingGraph hw = heavyHexTopology(2, 5);
+    TetrisOptions opts;
+    opts.reorderStringsInBlock = true;
+    CompileResult res = compileTetris(blocks, hw, opts);
+    Rng rng(5);
+    EXPECT_TRUE(
+        test::checkCompiledEquivalence(blocks, res, hw.numQubits(), rng));
+}
+
+TEST(Reorder, NeverIncreasesCnotCountMuch)
+{
+    // Reordering is an optimization hint; it must not blow up the
+    // result (allow small noise from scheduling interactions).
+    auto blocks = buildMolecule(moleculeByName("LiH"), "bk");
+    CouplingGraph hw = heavyHexTopology(3, 7);
+    CompileResult base = compileTetris(blocks, hw);
+    TetrisOptions opts;
+    opts.reorderStringsInBlock = true;
+    CompileResult reordered = compileTetris(blocks, hw, opts);
+    EXPECT_LT(reordered.stats.cnotCount,
+              base.stats.cnotCount + base.stats.cnotCount / 5);
+}
+
+} // namespace
+} // namespace tetris

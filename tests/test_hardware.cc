@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Topology, coupling-graph, and layout tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hardware/coupling_graph.hh"
+#include "hardware/layout.hh"
+#include "hardware/topologies.hh"
+
+namespace tetris
+{
+namespace
+{
+
+TEST(Topologies, LineBasics)
+{
+    CouplingGraph g = lineTopology(5);
+    EXPECT_EQ(g.numQubits(), 5);
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_EQ(g.distance(0, 4), 4);
+    EXPECT_TRUE(g.connected(2, 3));
+    EXPECT_FALSE(g.connected(0, 2));
+    EXPECT_EQ(g.maxDegree(), 2);
+}
+
+TEST(Topologies, RingWrapsAround)
+{
+    CouplingGraph g = ringTopology(6);
+    EXPECT_EQ(g.distance(0, 5), 1);
+    EXPECT_EQ(g.distance(0, 3), 3);
+}
+
+TEST(Topologies, GridDistancesAreManhattan)
+{
+    CouplingGraph g = gridTopology(3, 4);
+    EXPECT_EQ(g.numQubits(), 12);
+    EXPECT_EQ(g.distance(0, 11), 5); // (0,0) -> (2,3)
+    EXPECT_EQ(g.maxDegree(), 4);
+}
+
+TEST(Topologies, IbmIthacaMatchesPaperBackend)
+{
+    CouplingGraph g = ibmIthaca65();
+    EXPECT_EQ(g.numQubits(), 65);
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_LE(g.maxDegree(), 3); // heavy-hex property
+}
+
+TEST(Topologies, SycamoreMatchesPaperBackend)
+{
+    CouplingGraph g = googleSycamore64();
+    EXPECT_EQ(g.numQubits(), 64);
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_LE(g.maxDegree(), 4);
+}
+
+TEST(Topologies, SycamoreIsDenserThanHeavyHex)
+{
+    // Average degree comparison drives the Sec. VI-E discussion.
+    CouplingGraph hh = ibmIthaca65();
+    CouplingGraph sy = googleSycamore64();
+    double hh_deg = 2.0 * hh.edges().size() / hh.numQubits();
+    double sy_deg = 2.0 * sy.edges().size() / sy.numQubits();
+    EXPECT_GT(sy_deg, hh_deg);
+}
+
+TEST(Topologies, HeavyHexBridgeQubitsHaveDegreeTwo)
+{
+    CouplingGraph g = heavyHexTopology(3, 7);
+    int deg2 = 0;
+    for (int q = 0; q < g.numQubits(); ++q) {
+        if (static_cast<int>(g.neighbors(q).size()) == 2)
+            ++deg2;
+    }
+    EXPECT_GT(deg2, 0);
+    EXPECT_LE(g.maxDegree(), 3);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(CouplingGraph, ShortestPathEndpointsInclusive)
+{
+    CouplingGraph g = lineTopology(5);
+    auto path = g.shortestPath(1, 4);
+    EXPECT_EQ(path, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(g.shortestPath(2, 2), (std::vector<int>{2}));
+}
+
+TEST(CouplingGraph, ShortestPathRespectsBlocking)
+{
+    CouplingGraph g = ringTopology(6);
+    std::vector<bool> blocked(6, false);
+    blocked[1] = true;
+    auto path = g.shortestPath(0, 2, &blocked);
+    // Must go the long way around: 0-5-4-3-2.
+    EXPECT_EQ(path.size(), 5u);
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), 2);
+}
+
+TEST(CouplingGraph, BlockedEndpointIsStillReachable)
+{
+    CouplingGraph g = lineTopology(4);
+    std::vector<bool> blocked(4, false);
+    blocked[3] = true; // target itself blocked: still allowed
+    auto path = g.shortestPath(0, 3, &blocked);
+    EXPECT_EQ(path.size(), 4u);
+}
+
+TEST(CouplingGraph, NoPathReturnsEmpty)
+{
+    CouplingGraph g(4, {{0, 1}, {2, 3}});
+    EXPECT_FALSE(g.isConnected());
+    EXPECT_TRUE(g.shortestPath(0, 3).empty());
+}
+
+TEST(CouplingGraph, FindCenterMinimizesTotalDistance)
+{
+    CouplingGraph g = lineTopology(7);
+    EXPECT_EQ(g.findCenter({0, 6}), 3);
+    EXPECT_EQ(g.findCenter({0, 1, 2}), 1);
+    EXPECT_EQ(g.findCenter({5}), 5);
+}
+
+TEST(Layout, TrivialMapping)
+{
+    Layout l(3, 5);
+    EXPECT_EQ(l.physOf(2), 2);
+    EXPECT_EQ(l.logicalAt(2), 2);
+    EXPECT_TRUE(l.isFree(4));
+    EXPECT_FALSE(l.isFree(0));
+}
+
+TEST(Layout, SwapMovesOccupants)
+{
+    Layout l(2, 4);
+    l.applySwap(0, 3); // logical 0 onto free slot 3
+    EXPECT_EQ(l.physOf(0), 3);
+    EXPECT_TRUE(l.isFree(0));
+    EXPECT_EQ(l.logicalAt(3), 0);
+
+    l.applySwap(1, 3); // swap two occupied slots
+    EXPECT_EQ(l.physOf(0), 1);
+    EXPECT_EQ(l.physOf(1), 3);
+}
+
+TEST(Layout, EvictAndPlace)
+{
+    Layout l(2, 3);
+    l.evict(1);
+    EXPECT_TRUE(l.isFree(1));
+    l.place(1, 2);
+    EXPECT_EQ(l.physOf(1), 2);
+    EXPECT_EQ(l.logicalAt(2), 1);
+}
+
+} // namespace
+} // namespace tetris

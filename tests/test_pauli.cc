@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the Pauli algebra substrate: operator products with
+ * phases, string algebra, sums, and block root/leaf decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pauli/pauli_block.hh"
+#include "pauli/pauli_op.hh"
+#include "pauli/pauli_string.hh"
+#include "pauli/pauli_sum.hh"
+
+namespace tetris
+{
+namespace
+{
+
+using P = PauliOp;
+
+TEST(PauliOp, IdentityIsNeutral)
+{
+    for (P a : {P::I, P::X, P::Y, P::Z}) {
+        auto r1 = mulPauli(P::I, a);
+        EXPECT_EQ(r1.op, a);
+        EXPECT_EQ(r1.phaseExp, 0);
+        auto r2 = mulPauli(a, P::I);
+        EXPECT_EQ(r2.op, a);
+        EXPECT_EQ(r2.phaseExp, 0);
+    }
+}
+
+TEST(PauliOp, SelfProductIsIdentity)
+{
+    for (P a : {P::X, P::Y, P::Z}) {
+        auto r = mulPauli(a, a);
+        EXPECT_EQ(r.op, P::I);
+        EXPECT_EQ(r.phaseExp, 0);
+    }
+}
+
+struct MulCase
+{
+    P a, b, expect;
+    uint8_t phase;
+};
+
+class PauliMulTable : public ::testing::TestWithParam<MulCase>
+{
+};
+
+TEST_P(PauliMulTable, MatchesAlgebra)
+{
+    const auto &c = GetParam();
+    auto r = mulPauli(c.a, c.b);
+    EXPECT_EQ(r.op, c.expect);
+    EXPECT_EQ(r.phaseExp, c.phase);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOffDiagonal, PauliMulTable,
+    ::testing::Values(MulCase{P::X, P::Y, P::Z, 1},  // XY = iZ
+                      MulCase{P::Y, P::X, P::Z, 3},  // YX = -iZ
+                      MulCase{P::Y, P::Z, P::X, 1},  // YZ = iX
+                      MulCase{P::Z, P::Y, P::X, 3},  // ZY = -iX
+                      MulCase{P::Z, P::X, P::Y, 1},  // ZX = iY
+                      MulCase{P::X, P::Z, P::Y, 3})); // XZ = -iY
+
+TEST(PauliOp, Commutation)
+{
+    EXPECT_TRUE(commutes(P::I, P::X));
+    EXPECT_TRUE(commutes(P::Z, P::Z));
+    EXPECT_FALSE(commutes(P::X, P::Y));
+    EXPECT_FALSE(commutes(P::Z, P::X));
+}
+
+TEST(PauliString, TextRoundTrip)
+{
+    PauliString s = PauliString::fromText("XXYZI");
+    EXPECT_EQ(s.numQubits(), 5u);
+    EXPECT_EQ(s.toText(), "XXYZI");
+    EXPECT_EQ(s.op(0), P::X);
+    EXPECT_EQ(s.op(3), P::Z);
+    EXPECT_EQ(s.op(4), P::I);
+}
+
+TEST(PauliString, LowerCaseParses)
+{
+    EXPECT_EQ(PauliString::fromText("xyzi").toText(), "XYZI");
+}
+
+TEST(PauliString, WeightAndSupport)
+{
+    PauliString s = PauliString::fromText("IXIYZ");
+    EXPECT_EQ(s.weight(), 3u);
+    EXPECT_EQ(s.support(), (std::vector<size_t>{1, 3, 4}));
+    EXPECT_FALSE(s.isIdentity());
+    EXPECT_TRUE(PauliString(4).isIdentity());
+}
+
+TEST(PauliString, CommutationIsParityOfAnticommutingSites)
+{
+    auto a = PauliString::fromText("XXI");
+    auto b = PauliString::fromText("ZZI");
+    EXPECT_TRUE(a.commutesWith(b)); // two anticommuting sites
+    auto c = PauliString::fromText("ZII");
+    EXPECT_FALSE(a.commutesWith(c)); // one anticommuting site
+}
+
+TEST(PauliString, ProductPhaseAccumulates)
+{
+    auto a = PauliString::fromText("XY");
+    auto b = PauliString::fromText("YX");
+    auto r = mulStrings(a, b); // (XY)(YX) per qubit: XY=iZ, YX=-iZ
+    EXPECT_EQ(r.string.toText(), "ZZ");
+    EXPECT_EQ(r.phaseExp, 0); // i * -i = 1
+}
+
+TEST(PauliString, HashDistinguishesStrings)
+{
+    PauliStringHash h;
+    EXPECT_NE(h(PauliString::fromText("XZ")),
+              h(PauliString::fromText("ZX")));
+    EXPECT_EQ(h(PauliString::fromText("XZ")),
+              h(PauliString::fromText("XZ")));
+}
+
+TEST(PauliSum, SimplifyMergesAndDrops)
+{
+    PauliSum s(2);
+    s.addTerm({0.5, 0.0}, PauliString::fromText("XZ"));
+    s.addTerm({0.5, 0.0}, PauliString::fromText("XZ"));
+    s.addTerm({1e-15, 0.0}, PauliString::fromText("ZZ"));
+    PauliSum r = s.simplified();
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.terms()[0].string.toText(), "XZ");
+    EXPECT_NEAR(r.terms()[0].coeff.real(), 1.0, 1e-12);
+}
+
+TEST(PauliSum, ProductTracksPhases)
+{
+    // (X)(Y) = iZ on one qubit.
+    PauliSum x(std::complex<double>(1.0, 0.0),
+               PauliString::fromText("X"));
+    PauliSum y(std::complex<double>(1.0, 0.0),
+               PauliString::fromText("Y"));
+    PauliSum r = (x * y).simplified();
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.terms()[0].string.toText(), "Z");
+    EXPECT_NEAR(r.terms()[0].coeff.imag(), 1.0, 1e-12);
+}
+
+TEST(PauliSum, AntiHermitianDetection)
+{
+    PauliSum t(1);
+    t.addTerm({0.0, 0.7}, PauliString::fromText("X"));
+    EXPECT_TRUE(t.isAntiHermitian());
+    EXPECT_FALSE(t.isHermitian());
+    t.addTerm({0.3, 0.0}, PauliString::fromText("Z"));
+    EXPECT_FALSE(t.isAntiHermitian());
+}
+
+TEST(PauliSum, SubtractionCancelsExactly)
+{
+    PauliSum a(std::complex<double>(2.0, 0.0),
+               PauliString::fromText("ZZ"));
+    PauliSum r = (a - a).simplified();
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(PauliBlock, CommonAndRootSets)
+{
+    // Fig. 6 of the paper: {XYZZZ, XXZZZ, ZXZZZ, YXZZZ}.
+    std::vector<PauliString> strings = {
+        PauliString::fromText("XYZZZ"), PauliString::fromText("XXZZZ"),
+        PauliString::fromText("ZXZZZ"), PauliString::fromText("YXZZZ")};
+    PauliBlock b(strings, 0.3);
+    EXPECT_EQ(b.commonQubits(), (std::vector<size_t>{2, 3, 4}));
+    EXPECT_EQ(b.rootQubits(), (std::vector<size_t>{0, 1}));
+    EXPECT_EQ(b.activeLength(), 5u);
+    EXPECT_EQ(b.support(), (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(PauliBlock, CommonRequiresIdenticalOperator)
+{
+    std::vector<PauliString> strings = {PauliString::fromText("XZY"),
+                                        PauliString::fromText("XYY")};
+    PauliBlock b(strings, 0.1);
+    // Qubit 0 shares X; qubit 1 differs; qubit 2 shares Y.
+    EXPECT_EQ(b.commonQubits(), (std::vector<size_t>{0, 2}));
+    EXPECT_EQ(b.rootQubits(), (std::vector<size_t>{1}));
+}
+
+TEST(PauliBlock, IdentityColumnsAreNeitherRootNorLeaf)
+{
+    std::vector<PauliString> strings = {PauliString::fromText("XIZ"),
+                                        PauliString::fromText("YIZ")};
+    PauliBlock b(strings, 0.1);
+    EXPECT_EQ(b.commonQubits(), (std::vector<size_t>{2}));
+    EXPECT_EQ(b.rootQubits(), (std::vector<size_t>{0}));
+    EXPECT_EQ(b.activeLength(), 2u);
+}
+
+TEST(PauliBlock, WeightsDefaultToOne)
+{
+    PauliBlock b({PauliString::fromText("ZZ")}, 0.5);
+    EXPECT_DOUBLE_EQ(b.weight(0), 1.0);
+    EXPECT_DOUBLE_EQ(b.theta(), 0.5);
+}
+
+} // namespace
+} // namespace tetris

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Peephole optimizer tests: each cancellation rule plus randomized
+ * unitary-preservation property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/peephole.hh"
+#include "common/rng.hh"
+#include "sim/statevector.hh"
+
+namespace tetris
+{
+namespace
+{
+
+TEST(Peephole, CancelsAdjacentHadamards)
+{
+    Circuit c(1);
+    c.h(0);
+    c.h(0);
+    Circuit r = peepholeOptimize(c);
+    EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(Peephole, CancelsSSdgPairs)
+{
+    Circuit c(1);
+    c.s(0);
+    c.sdg(0);
+    c.sdg(0);
+    c.s(0);
+    EXPECT_EQ(peepholeOptimize(c).size(), 0u);
+}
+
+TEST(Peephole, CancelsAdjacentCx)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    EXPECT_EQ(peepholeOptimize(c).size(), 0u);
+}
+
+TEST(Peephole, DoesNotCancelReversedCx)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cx(1, 0);
+    EXPECT_EQ(peepholeOptimize(c).size(), 2u);
+}
+
+TEST(Peephole, MergesRotations)
+{
+    Circuit c(1);
+    c.rz(0, 0.25);
+    c.rz(0, 0.50);
+    Circuit r = peepholeOptimize(c);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_NEAR(r.gates()[0].angle, 0.75, 1e-12);
+}
+
+TEST(Peephole, RemovesZeroRotations)
+{
+    Circuit c(1);
+    c.rz(0, 0.4);
+    c.rz(0, -0.4);
+    EXPECT_EQ(peepholeOptimize(c).size(), 0u);
+}
+
+TEST(Peephole, RzCommutesThroughCxControl)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.rz(0, 0.7); // diagonal on the control: commutes
+    c.cx(0, 1);
+    Circuit r = peepholeOptimize(c);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.gates()[0].kind, GateKind::RZ);
+}
+
+TEST(Peephole, XCommutesThroughCxTarget)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.x(1);
+    c.cx(0, 1);
+    Circuit r = peepholeOptimize(c);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.gates()[0].kind, GateKind::X);
+}
+
+TEST(Peephole, RzOnTargetBlocksCxCancellation)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.rz(1, 0.7); // on the target: does NOT commute
+    c.cx(0, 1);
+    EXPECT_EQ(peepholeOptimize(c).size(), 3u);
+}
+
+TEST(Peephole, SharedControlCxsCommute)
+{
+    Circuit c(3);
+    c.cx(0, 1);
+    c.cx(0, 2); // shares the control with both neighbors
+    c.cx(0, 1);
+    Circuit r = peepholeOptimize(c);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.gates()[0].q1, 2);
+}
+
+TEST(Peephole, SharedTargetCxsCommute)
+{
+    Circuit c(3);
+    c.cx(0, 2);
+    c.cx(1, 2);
+    c.cx(0, 2);
+    Circuit r = peepholeOptimize(c);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.gates()[0].q0, 1);
+}
+
+TEST(Peephole, CancelsSwapPairs)
+{
+    Circuit c(2);
+    c.swap(0, 1);
+    c.swap(1, 0);
+    EXPECT_EQ(peepholeOptimize(c).size(), 0u);
+}
+
+TEST(Peephole, MeasureBlocksCancellation)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.measure(1);
+    c.cx(0, 1);
+    EXPECT_EQ(peepholeOptimize(c).size(), 3u);
+}
+
+TEST(Peephole, HSandwichCancelsIteratively)
+{
+    // Sdg H H S collapses over two fixpoint passes.
+    Circuit c(1);
+    c.sdg(0);
+    c.h(0);
+    c.h(0);
+    c.s(0);
+    EXPECT_EQ(peepholeOptimize(c).size(), 0u);
+}
+
+TEST(Peephole, ReportsStats)
+{
+    Circuit c(2);
+    c.h(0);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    PeepholeStats stats;
+    peepholeOptimize(c, &stats);
+    EXPECT_EQ(stats.removedOneQubit, 2u);
+    EXPECT_EQ(stats.removedCx, 2u);
+}
+
+/** Random-circuit property: the pass must preserve the unitary. */
+class PeepholeProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PeepholeProperty, PreservesUnitary)
+{
+    const int seed = GetParam();
+    Rng rng(seed);
+    const int n = 4;
+    Circuit c(n);
+    for (int i = 0; i < 120; ++i) {
+        switch (rng.uniformInt(0, 7)) {
+          case 0: c.h(rng.uniformInt(0, n - 1)); break;
+          case 1: c.x(rng.uniformInt(0, n - 1)); break;
+          case 2: c.s(rng.uniformInt(0, n - 1)); break;
+          case 3: c.sdg(rng.uniformInt(0, n - 1)); break;
+          case 4: c.rz(rng.uniformInt(0, n - 1), rng.uniform(-3, 3));
+                  break;
+          default: {
+            int a = rng.uniformInt(0, n - 1);
+            int b = rng.uniformInt(0, n - 1);
+            if (a == b)
+                b = (b + 1) % n;
+            if (rng.bernoulli(0.85))
+                c.cx(a, b);
+            else
+                c.swap(a, b);
+          }
+        }
+    }
+    Circuit r = peepholeOptimize(c);
+    EXPECT_LE(r.size(), c.size());
+
+    Statevector sa = Statevector::random(n, rng);
+    Statevector sb = sa;
+    sa.applyCircuit(c);
+    sb.applyCircuit(r);
+    EXPECT_NEAR(sa.overlapWith(sb), 1.0, 1e-8) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, PeepholeProperty,
+                         ::testing::Range(0, 24));
+
+} // namespace
+} // namespace tetris

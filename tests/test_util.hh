@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared helpers for the test suite: simulator-based equivalence
+ * checking of compiled circuits against the analytic product of
+ * Pauli rotations, and coupling-graph compliance checks.
+ */
+
+#ifndef TETRIS_TESTS_TEST_UTIL_HH
+#define TETRIS_TESTS_TEST_UTIL_HH
+
+#include <vector>
+
+#include "core/compiler.hh"
+#include "hardware/coupling_graph.hh"
+#include "pauli/pauli_block.hh"
+#include "sim/statevector.hh"
+
+namespace tetris::test
+{
+
+/** Pad a logical string with identities up to num_qubits wires. */
+inline PauliString
+extendString(const PauliString &s, int num_qubits)
+{
+    PauliString out(static_cast<size_t>(num_qubits));
+    for (size_t q = 0; q < s.numQubits(); ++q)
+        out.setOp(q, s.op(q));
+    return out;
+}
+
+/** |psi_logical> tensor |0...0> on a wider register. */
+inline Statevector
+embedState(const Statevector &logical, int num_qubits)
+{
+    std::vector<Statevector::Amplitude> amp(size_t{1} << num_qubits,
+                                            0.0);
+    for (size_t i = 0; i < logical.amplitudes().size(); ++i)
+        amp[i] = logical.amplitudes()[i];
+    return Statevector::fromAmplitudes(std::move(amp));
+}
+
+/**
+ * Permute wire positions: bit l of the input index moves to position
+ * new_pos[l]. new_pos must be a permutation of [0, n).
+ */
+inline Statevector
+permuteState(const Statevector &sv, const std::vector<int> &new_pos)
+{
+    std::vector<Statevector::Amplitude> amp(sv.amplitudes().size(), 0.0);
+    for (size_t i = 0; i < sv.amplitudes().size(); ++i) {
+        size_t j = 0;
+        for (int b = 0; b < sv.numQubits(); ++b) {
+            if (i & (size_t{1} << b))
+                j |= size_t{1} << new_pos[b];
+        }
+        amp[j] = sv.amplitudes()[i];
+    }
+    return Statevector::fromAmplitudes(std::move(amp));
+}
+
+/** Every two-qubit gate must act on a coupling-graph edge. */
+inline bool
+isHardwareCompliant(const Circuit &c, const CouplingGraph &hw)
+{
+    for (const auto &g : c.gates()) {
+        if (g.isTwoQubit() && !hw.connected(g.q0, g.q1))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Check that a compiled result implements the scheduled product of
+ * exp(-i w theta/2 P) rotations followed by the final-layout wire
+ * permutation, up to global phase, on a random input state with
+ * ancillas in |0>.
+ */
+inline bool
+checkCompiledEquivalence(const std::vector<PauliBlock> &blocks,
+                         const CompileResult &result, int num_phys,
+                         Rng &rng, double tol = 1e-7)
+{
+    const int num_logical = blocksNumQubits(blocks);
+
+    Statevector logical = Statevector::random(num_logical, rng);
+    Statevector start = embedState(logical, num_phys);
+
+    // Simulated compiled circuit.
+    Statevector actual = start;
+    actual.applyCircuit(result.circuit);
+
+    // Analytic reference in scheduled block order.
+    std::vector<size_t> order = result.blockOrder;
+    if (order.empty()) {
+        order.resize(blocks.size());
+        for (size_t i = 0; i < blocks.size(); ++i)
+            order[i] = i;
+    }
+    Statevector expected = start;
+    for (size_t idx : order) {
+        const PauliBlock &b = blocks[idx];
+        for (size_t i = 0; i < b.size(); ++i) {
+            expected.applyPauliExp(extendString(b.string(i), num_phys),
+                                   b.weight(i) * b.theta());
+        }
+    }
+
+    // Final wire permutation: logical l ends at finalLayout.physOf(l);
+    // free wires (|0> on both sides) fill the remaining slots.
+    std::vector<int> new_pos(num_phys, -1);
+    std::vector<bool> used(num_phys, false);
+    for (int l = 0; l < num_logical; ++l) {
+        int pos = result.finalLayout.physOf(l);
+        new_pos[l] = pos;
+        used[pos] = true;
+    }
+    int next_free = 0;
+    for (int b = 0; b < num_phys; ++b) {
+        if (new_pos[b] >= 0)
+            continue;
+        while (used[next_free])
+            ++next_free;
+        new_pos[b] = next_free;
+        used[next_free] = true;
+    }
+    expected = permuteState(expected, new_pos);
+
+    return std::abs(actual.overlapWith(expected) - 1.0) < tol;
+}
+
+} // namespace tetris::test
+
+#endif // TETRIS_TESTS_TEST_UTIL_HH

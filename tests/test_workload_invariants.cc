@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Cross-suite invariant sweeps: for every molecule x encoder and
+ * every QAOA benchmark, the generated workloads satisfy the
+ * structural properties the compiler relies on, and compilation on
+ * both evaluation backends yields internally consistent, compliant
+ * circuits. These parameterized tests are the broad safety net
+ * behind the per-feature unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/paulihedral.hh"
+#include "chem/uccsd.hh"
+#include "core/compiler.hh"
+#include "hardware/topologies.hh"
+#include "qaoa/qaoa.hh"
+#include "test_util.hh"
+
+namespace tetris
+{
+namespace
+{
+
+struct WorkloadCase
+{
+    const char *molecule;
+    const char *encoder;
+};
+
+class MoleculeInvariants : public ::testing::TestWithParam<WorkloadCase>
+{
+};
+
+TEST_P(MoleculeInvariants, BlocksAreWellFormed)
+{
+    const auto &[name, enc] = GetParam();
+    auto blocks = buildMolecule(moleculeByName(name), enc);
+    ASSERT_FALSE(blocks.empty());
+    for (const auto &b : blocks) {
+        ASSERT_GE(b.size(), 2u);
+        EXPECT_EQ(static_cast<int>(b.numQubits()),
+                  moleculeByName(name).numSpinOrbitals);
+        for (size_t i = 0; i < b.size(); ++i) {
+            // Every string is non-trivial and carries a real weight
+            // (Bravyi-Kitaev can compress excitations to weight 1).
+            EXPECT_GE(b.string(i).weight(), 1u);
+            EXPECT_GT(std::abs(b.weight(i)), 1e-9);
+        }
+    }
+}
+
+TEST_P(MoleculeInvariants, BlockStringsMutuallyCommute)
+{
+    const auto &[name, enc] = GetParam();
+    auto blocks = buildMolecule(moleculeByName(name), enc);
+    // Spot-check a sample of blocks (full sweep is quadratic).
+    for (size_t bi = 0; bi < blocks.size(); bi += 7) {
+        const auto &b = blocks[bi];
+        for (size_t i = 0; i < b.size(); ++i) {
+            for (size_t j = i + 1; j < b.size(); ++j) {
+                EXPECT_TRUE(b.string(i).commutesWith(b.string(j)))
+                    << name << "/" << enc << " block " << bi;
+            }
+        }
+    }
+}
+
+TEST_P(MoleculeInvariants, RootAndLeafSetsPartitionSupport)
+{
+    const auto &[name, enc] = GetParam();
+    auto blocks = buildMolecule(moleculeByName(name), enc);
+    for (size_t bi = 0; bi < blocks.size(); bi += 5) {
+        TetrisBlock tb(blocks[bi]);
+        EXPECT_EQ(tb.rootSet().size() + tb.leafSet().size(),
+                  blocks[bi].activeLength());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallMolecules, MoleculeInvariants,
+    ::testing::Values(WorkloadCase{"LiH", "jw"}, WorkloadCase{"LiH", "bk"},
+                      WorkloadCase{"BeH2", "jw"},
+                      WorkloadCase{"BeH2", "bk"},
+                      WorkloadCase{"CH4", "jw"},
+                      WorkloadCase{"CH4", "bk"}));
+
+class CompileConsistency : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CompileConsistency, LiHSubsetOnBothBackends)
+{
+    // A 12-block LiH slice compiles to consistent, compliant
+    // circuits on both evaluation devices.
+    auto blocks = buildMolecule(moleculeByName("LiH"), GetParam());
+    blocks.resize(12);
+    for (const CouplingGraph &hw : {ibmIthaca65(), googleSycamore64()}) {
+        CompileResult tet = compileTetris(blocks, hw);
+        CompileResult ph = compilePaulihedral(blocks, hw);
+        for (const CompileResult *r : {&tet, &ph}) {
+            EXPECT_TRUE(test::isHardwareCompliant(r->circuit, hw));
+            EXPECT_EQ(r->stats.totalGateCount,
+                      r->stats.cnotCount + r->stats.oneQubitCount);
+            EXPECT_EQ(r->stats.logicalCnots + r->stats.swapCnots,
+                      r->stats.cnotCount);
+            EXPECT_LE(r->stats.cancelRatio, 1.0);
+            EXPECT_GE(r->stats.depth, 1u);
+        }
+        // Tetris should not lose to PH on this similarity-rich slice.
+        EXPECT_LE(tet.stats.logicalCnots, ph.stats.logicalCnots * 11 / 10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encoders, CompileConsistency,
+                         ::testing::Values("jw", "bk"));
+
+class QaoaInvariants
+    : public ::testing::TestWithParam<QaoaBenchmarkSpec>
+{
+};
+
+TEST_P(QaoaInvariants, GraphAndBlocksConsistent)
+{
+    const auto &spec = GetParam();
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+        Graph g = buildQaoaGraph(spec, seed);
+        EXPECT_EQ(g.numNodes(), spec.numNodes);
+        if (spec.isRegular) {
+            for (int v = 0; v < g.numNodes(); ++v)
+                EXPECT_EQ(g.degree(v), spec.parameter);
+        } else {
+            EXPECT_EQ(g.numEdges(),
+                      static_cast<size_t>(spec.parameter));
+        }
+        auto blocks = buildQaoaCostBlocks(g, 0.4);
+        EXPECT_EQ(blocks.size(), g.numEdges());
+        EXPECT_EQ(naiveCnotCount(blocks), 2 * g.numEdges());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecs, QaoaInvariants,
+    ::testing::ValuesIn(qaoaBenchmarks()),
+    [](const ::testing::TestParamInfo<QaoaBenchmarkSpec> &info) {
+        std::string name = info.param.name;
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace tetris
