@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+
+#include "common/json.hh"
 
 namespace tetris::bench
 {
@@ -36,6 +39,63 @@ double
 improvement(double a, double b)
 {
     return a == 0.0 ? 0.0 : (a - b) / a;
+}
+
+Engine &
+benchEngine()
+{
+    static Engine engine;
+    return engine;
+}
+
+std::shared_ptr<const CouplingGraph>
+shareDevice(CouplingGraph hw)
+{
+    return std::make_shared<const CouplingGraph>(std::move(hw));
+}
+
+std::string
+writeBenchJson(const std::string &artifact,
+               const std::vector<BenchRecord> &records,
+               const Engine &engine)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("artifact").value(artifact);
+    w.key("quickMode").value(quickMode());
+    w.key("threads").value(engine.numThreads());
+    w.key("jobs").beginArray();
+    for (const auto &[name, result] : records) {
+        w.beginObject();
+        w.key("name").value(name);
+        if (result) {
+            w.key("stats");
+            writeJson(w, result->stats);
+        } else {
+            w.key("stats").null();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.key("engine");
+    engine.metrics().writeJson(w);
+    w.key("cache").beginObject();
+    w.key("hits").value(
+        static_cast<uint64_t>(engine.cache().hits()));
+    w.key("misses").value(
+        static_cast<uint64_t>(engine.cache().misses()));
+    w.endObject();
+    w.endObject();
+
+    std::string path = "BENCH_" + artifact + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warn: cannot write %s\n", path.c_str());
+        return "";
+    }
+    out << w.str() << "\n";
+    std::printf("[wrote %s]\n", path.c_str());
+    return path;
 }
 
 } // namespace tetris::bench

@@ -7,16 +7,25 @@
  * the paper's published values for side-by-side comparison).
  * Set TETRIS_BENCH_QUICK=1 to restrict the molecule set to the
  * smaller half for fast smoke runs.
+ *
+ * Binaries with multi-molecule x multi-config sweeps run their jobs
+ * through the shared batch engine (benchEngine()) so the sweep
+ * parallelizes across TETRIS_ENGINE_THREADS workers, and drop a
+ * machine-readable BENCH_<artifact>.json trajectory via
+ * writeBenchJson().
  */
 
 #ifndef TETRIS_BENCH_BENCH_UTIL_HH
 #define TETRIS_BENCH_BENCH_UTIL_HH
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chem/uccsd.hh"
 #include "common/table.hh"
+#include "engine/engine.hh"
 #include "hardware/topologies.hh"
 #include "pauli/pauli_block.hh"
 
@@ -34,6 +43,25 @@ void printBanner(const std::string &title, const std::string &note);
 
 /** Percentage improvement of b over a: (a-b)/a. */
 double improvement(double a, double b);
+
+/** The process-wide batch engine all bench sweeps submit to. */
+Engine &benchEngine();
+
+/** Wrap a device for sharing across many CompileJobs. */
+std::shared_ptr<const CouplingGraph> shareDevice(CouplingGraph hw);
+
+/** One named result row of a finished sweep. */
+using BenchRecord =
+    std::pair<std::string, std::shared_ptr<const CompileResult>>;
+
+/**
+ * Write BENCH_<artifact>.json in the working directory: per-job
+ * CompileStats keyed by job name plus the engine's aggregate
+ * metrics. Returns the path written, or "" on failure.
+ */
+std::string writeBenchJson(const std::string &artifact,
+                           const std::vector<BenchRecord> &records,
+                           const Engine &engine);
 
 } // namespace tetris::bench
 

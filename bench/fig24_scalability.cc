@@ -2,14 +2,21 @@
  * @file
  * Regenerates Fig. 24: compilation time scalability. Reports the
  * synthesis-only time (no peephole) and the full pipeline time for
- * PH and Tetris across the molecule suite.
+ * PH and Tetris across the molecule suite, plus the engine's
+ * aggregate per-stage breakdown (schedule/synthesis/peephole).
+ *
+ * The 4 configurations x N molecules run through the batch engine.
+ * Per-job compileSeconds is wall time measured inside each compile
+ * call, so with TETRIS_ENGINE_THREADS > 1 concurrent jobs contend
+ * for cores and inflate each other's numbers; run with
+ * TETRIS_ENGINE_THREADS=1 for paper-faithful uncontended latencies
+ * (gate counts are thread-count-invariant either way).
  */
 
 #include <cstdio>
 
-#include "baselines/paulihedral.hh"
 #include "bench_util.hh"
-#include "core/compiler.hh"
+#include "engine/engine.hh"
 #include "hardware/topologies.hh"
 
 using namespace tetris;
@@ -23,29 +30,63 @@ main()
                 "the end-to-end latency including O3 scales better "
                 "because fewer gates reach the optimizer.");
 
-    CouplingGraph hw = ibmIthaca65();
+    auto hw = shareDevice(ibmIthaca65());
+    Engine &engine = benchEngine();
+    std::printf("[engine: %d threads]\n", engine.numThreads());
+
+    auto specs = benchMolecules();
+    std::vector<CompileJob> jobs;
+    for (const auto &spec : specs) {
+        auto blocks = buildMolecule(spec, "jw");
+        // Per molecule: PH raw, PH+O3, Tetris raw, Tetris+O3.
+        CompileJob ph_raw;
+        ph_raw.name = spec.name + "/ph";
+        ph_raw.blocks = blocks;
+        ph_raw.hw = hw;
+        ph_raw.pipeline = PipelineKind::Paulihedral;
+        ph_raw.paulihedral.runPeephole = false;
+        CompileJob ph_o3 = ph_raw;
+        ph_o3.name = spec.name + "/ph+o3";
+        ph_o3.paulihedral.runPeephole = true;
+        CompileJob tet_raw;
+        tet_raw.name = spec.name + "/tetris";
+        tet_raw.blocks = blocks;
+        tet_raw.hw = hw;
+        tet_raw.tetris.runPeephole = false;
+        CompileJob tet_o3 = tet_raw;
+        tet_o3.name = spec.name + "/tetris+o3";
+        tet_o3.tetris.runPeephole = true;
+        jobs.push_back(std::move(ph_raw));
+        jobs.push_back(std::move(ph_o3));
+        jobs.push_back(std::move(tet_raw));
+        jobs.push_back(std::move(tet_o3));
+    }
+
+    auto results = engine.compileAll(std::move(jobs));
+
+    const char *suffixes[] = {"/ph", "/ph+o3", "/tetris", "/tetris+o3"};
     TablePrinter table({"Bench", "PH", "PH+O3", "Tetris",
                         "Tetris+O3"});
-
-    for (const auto &spec : benchMolecules()) {
-        auto blocks = buildMolecule(spec, "jw");
-
-        PaulihedralOptions ph_raw;
-        ph_raw.runPeephole = false;
-        double ph_t =
-            compilePaulihedral(blocks, hw, ph_raw).stats.compileSeconds;
-        double ph_o3 =
-            compilePaulihedral(blocks, hw).stats.compileSeconds;
-
-        TetrisOptions tet_raw;
-        tet_raw.runPeephole = false;
-        double tet_t =
-            compileTetris(blocks, hw, tet_raw).stats.compileSeconds;
-        double tet_o3 = compileTetris(blocks, hw).stats.compileSeconds;
-
-        table.addRow({spec.name, formatDouble(ph_t), formatDouble(ph_o3),
-                      formatDouble(tet_t), formatDouble(tet_o3)});
+    std::vector<BenchRecord> records;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const auto *r = &results[4 * i];
+        table.addRow({specs[i].name,
+                      formatDouble(r[0]->stats.compileSeconds),
+                      formatDouble(r[1]->stats.compileSeconds),
+                      formatDouble(r[2]->stats.compileSeconds),
+                      formatDouble(r[3]->stats.compileSeconds)});
+        for (size_t k = 0; k < 4; ++k)
+            records.emplace_back(specs[i].name + suffixes[k], r[k]);
     }
     table.print();
+
+    const MetricsRegistry &m = engine.metrics();
+    std::printf("\nengine stage breakdown (wall seconds summed over "
+                "all jobs): schedule %.3f, synthesis %.3f, "
+                "peephole %.3f\n",
+                m.seconds("compile.schedule"),
+                m.seconds("compile.synthesis"),
+                m.seconds("compile.peephole"));
+    writeBenchJson("fig24", records, engine);
     return 0;
 }

@@ -4,13 +4,16 @@
  * heavy-hex backend -- total gates, CNOT gates, depth, and duration
  * with improvement percentages -- for the six molecules under both
  * encoders plus the synthetic UCC suite.
+ *
+ * All (workload, pipeline) pairs are submitted to the batch engine
+ * and compiled N-way parallel; rows are printed from the results in
+ * submission order, so the table is identical to the serial run.
  */
 
 #include <cstdio>
 
-#include "baselines/paulihedral.hh"
 #include "bench_util.hh"
-#include "core/compiler.hh"
+#include "engine/engine.hh"
 #include "hardware/topologies.hh"
 
 using namespace tetris;
@@ -19,33 +22,34 @@ using namespace tetris::bench;
 namespace
 {
 
-void
-addComparisonRow(TablePrinter &table, const std::string &group,
-                 const std::string &name,
-                 const std::vector<PauliBlock> &blocks,
-                 const CouplingGraph &hw)
+struct RowSpec
 {
-    CompileResult ph = compilePaulihedral(blocks, hw);
-    CompileResult tet = compileTetris(blocks, hw);
+    std::string group;
+    std::string name;
+};
 
+void
+addComparisonRow(TablePrinter &table, const RowSpec &spec,
+                 const CompileStats &ph, const CompileStats &tet)
+{
     auto pct = [](double a, double b) {
         return formatPercent(-improvement(a, b)); // paper prints -x%
     };
     table.addRow({
-        group,
-        name,
-        formatCount(ph.stats.totalGateCount),
-        formatCount(tet.stats.totalGateCount),
-        pct(ph.stats.totalGateCount, tet.stats.totalGateCount),
-        formatCount(ph.stats.cnotCount),
-        formatCount(tet.stats.cnotCount),
-        pct(ph.stats.cnotCount, tet.stats.cnotCount),
-        formatCount(ph.stats.depth),
-        formatCount(tet.stats.depth),
-        pct(ph.stats.depth, tet.stats.depth),
-        formatCount(ph.stats.durationDt),
-        formatCount(tet.stats.durationDt),
-        pct(ph.stats.durationDt, tet.stats.durationDt),
+        spec.group,
+        spec.name,
+        formatCount(ph.totalGateCount),
+        formatCount(tet.totalGateCount),
+        pct(ph.totalGateCount, tet.totalGateCount),
+        formatCount(ph.cnotCount),
+        formatCount(tet.cnotCount),
+        pct(ph.cnotCount, tet.cnotCount),
+        formatCount(ph.depth),
+        formatCount(tet.depth),
+        pct(ph.depth, tet.depth),
+        formatCount(ph.durationDt),
+        formatCount(tet.durationDt),
+        pct(ph.durationDt, tet.durationDt),
     });
 }
 
@@ -59,17 +63,34 @@ main()
         "Negative percentages = reduction by Tetris (paper JW CNOT: "
         "-17.2..-40.7%, depth: -11.0..-37.6%).");
 
-    CouplingGraph hw = ibmIthaca65();
-    TablePrinter table({"Encoder", "Bench", "Tot PH", "Tot Tet", "Tot%",
-                        "CNOT PH", "CNOT Tet", "CNOT%", "Dep PH",
-                        "Dep Tet", "Dep%", "Dur PH", "Dur Tet", "Dur%"});
+    auto hw = shareDevice(ibmIthaca65());
+    Engine &engine = benchEngine();
+    std::printf("[engine: %d threads]\n", engine.numThreads());
+
+    std::vector<RowSpec> rows;
+    std::vector<CompileJob> jobs; // PH then Tetris, per row
+    auto addWorkload = [&](const std::string &group,
+                           const std::string &name,
+                           std::vector<PauliBlock> blocks) {
+        rows.push_back({group, name});
+        CompileJob ph;
+        ph.name = name + "/ph";
+        ph.blocks = blocks;
+        ph.hw = hw;
+        ph.pipeline = PipelineKind::Paulihedral;
+        jobs.push_back(std::move(ph));
+        CompileJob tet;
+        tet.name = name + "/tetris";
+        tet.blocks = std::move(blocks);
+        tet.hw = hw;
+        jobs.push_back(std::move(tet));
+    };
 
     for (const char *enc : {"jw", "bk"}) {
         for (const auto &spec : benchMolecules()) {
-            addComparisonRow(table,
-                             enc == std::string("jw") ? "Jordan-Wigner"
-                                                      : "Bravyi-Kitaev",
-                             spec.name, buildMolecule(spec, enc), hw);
+            addWorkload(enc == std::string("jw") ? "Jordan-Wigner"
+                                                 : "Bravyi-Kitaev",
+                        spec.name, buildMolecule(spec, enc));
         }
     }
 
@@ -77,10 +98,24 @@ main()
     if (quickMode())
         ucc_sizes = {10, 15};
     for (int n : ucc_sizes) {
-        addComparisonRow(table, "Synthetic", "UCC-" + std::to_string(n),
-                         buildSyntheticUcc(n, 1000 + n), hw);
+        addWorkload("Synthetic", "UCC-" + std::to_string(n),
+                    buildSyntheticUcc(n, 1000 + n));
     }
 
+    auto results = engine.compileAll(std::move(jobs));
+
+    TablePrinter table({"Encoder", "Bench", "Tot PH", "Tot Tet", "Tot%",
+                        "CNOT PH", "CNOT Tet", "CNOT%", "Dep PH",
+                        "Dep Tet", "Dep%", "Dur PH", "Dur Tet", "Dur%"});
+    std::vector<BenchRecord> records;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const auto &ph = results[2 * i];
+        const auto &tet = results[2 * i + 1];
+        addComparisonRow(table, rows[i], ph->stats, tet->stats);
+        records.emplace_back(rows[i].name + "/ph", ph);
+        records.emplace_back(rows[i].name + "/tetris", tet);
+    }
     table.print();
+    writeBenchJson("table2", records, engine);
     return 0;
 }

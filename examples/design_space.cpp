@@ -6,15 +6,25 @@
  * cancellation -- the design-space knobs a user would tune for a
  * new device.
  *
+ * The whole sweep is submitted to the batch engine up front and
+ * compiled in parallel (thread count from TETRIS_ENGINE_THREADS);
+ * results print in submission order with gate counts identical to a
+ * serial sweep. The Compile(s) column is wall time measured inside
+ * each compile, so with >1 engine thread concurrent jobs contend for
+ * cores and inflate it; set TETRIS_ENGINE_THREADS=1 for faithful
+ * per-job latencies.
+ *
  * Usage: design_space [molecule] [jw|bk]   (defaults: BeH2 jw)
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "chem/uccsd.hh"
 #include "common/table.hh"
 #include "core/compiler.hh"
+#include "engine/engine.hh"
 #include "hardware/topologies.hh"
 
 int
@@ -26,45 +36,80 @@ main(int argc, char **argv)
     std::string encoder = argc > 2 ? argv[2] : "jw";
 
     auto blocks = buildMolecule(moleculeByName(molecule), encoder);
-    CouplingGraph hw = ibmIthaca65();
-    std::printf("tuning Tetris for %s/%s on %s\n\n", molecule.c_str(),
-                encoder.c_str(), hw.name().c_str());
+    auto hw = std::make_shared<const CouplingGraph>(ibmIthaca65());
+
+    Engine engine;
+    std::printf("tuning Tetris for %s/%s on %s (%d engine threads)\n\n",
+                molecule.c_str(), encoder.c_str(), hw->name().c_str(),
+                engine.numThreads());
+
+    const std::vector<double> weights = {0.5, 1.0, 3.0, 5.0, 10.0, 100.0};
+    const std::vector<int> lookaheads = {1, 5, 10, 20};
+    const std::vector<SchedulerKind> alt_scheds = {
+        SchedulerKind::InputOrder, SchedulerKind::Lexicographic};
+
+    std::vector<CompileJob> jobs;
+    auto addJob = [&](const TetrisOptions &opts) {
+        CompileJob job;
+        job.blocks = blocks;
+        job.hw = hw;
+        job.tetris = opts;
+        jobs.push_back(std::move(job));
+    };
+    for (double w : weights) {
+        TetrisOptions opts;
+        opts.synthesis.swapWeight = w;
+        addJob(opts);
+    }
+    for (int k : lookaheads) {
+        TetrisOptions opts;
+        opts.lookaheadK = k;
+        addJob(opts);
+    }
+    for (auto kind : alt_scheds) {
+        TetrisOptions opts;
+        opts.scheduler = kind;
+        addJob(opts);
+    }
+
+    auto results = engine.compileAll(std::move(jobs));
+    size_t next = 0;
 
     std::printf("SWAP weight sweep (K = 10):\n");
     TablePrinter wt({"w", "SWAPs", "LogicalCNOT", "TotalCNOT", "Depth"});
-    for (double w : {0.5, 1.0, 3.0, 5.0, 10.0, 100.0}) {
-        TetrisOptions opts;
-        opts.synthesis.swapWeight = w;
-        CompileResult r = compileTetris(blocks, hw, opts);
-        wt.addRow({formatDouble(w, 1), formatCount(r.stats.swapCount),
-                   formatCount(r.stats.logicalCnots),
-                   formatCount(r.stats.cnotCount),
-                   formatCount(r.stats.depth)});
+    for (double w : weights) {
+        const CompileStats &s = results[next++]->stats;
+        wt.addRow({formatDouble(w, 1), formatCount(s.swapCount),
+                   formatCount(s.logicalCnots), formatCount(s.cnotCount),
+                   formatCount(s.depth)});
     }
     wt.print();
 
     std::printf("\nscheduler sweep (w = 3):\n");
-    TablePrinter kt({"Scheduler", "TotalCNOT", "Depth", "Compile(s)"});
-    for (int k : {1, 5, 10, 20}) {
-        TetrisOptions opts;
-        opts.lookaheadK = k;
-        CompileResult r = compileTetris(blocks, hw, opts);
-        kt.addRow({"lookahead K=" + std::to_string(k),
-                   formatCount(r.stats.cnotCount),
-                   formatCount(r.stats.depth),
-                   formatDouble(r.stats.compileSeconds)});
+    if (engine.numThreads() > 1) {
+        std::printf("(Compile(s) measured under %d-way parallelism; "
+                    "set TETRIS_ENGINE_THREADS=1 for uncontended "
+                    "latencies)\n",
+                    engine.numThreads());
     }
-    for (auto kind : {SchedulerKind::InputOrder,
-                      SchedulerKind::Lexicographic}) {
-        TetrisOptions opts;
-        opts.scheduler = kind;
-        CompileResult r = compileTetris(blocks, hw, opts);
+    TablePrinter kt({"Scheduler", "TotalCNOT", "Depth", "Compile(s)"});
+    for (int k : lookaheads) {
+        const CompileStats &s = results[next++]->stats;
+        kt.addRow({"lookahead K=" + std::to_string(k),
+                   formatCount(s.cnotCount), formatCount(s.depth),
+                   formatDouble(s.compileSeconds)});
+    }
+    for (auto kind : alt_scheds) {
+        const CompileStats &s = results[next++]->stats;
         kt.addRow({kind == SchedulerKind::InputOrder ? "input order"
                                                      : "lexicographic",
-                   formatCount(r.stats.cnotCount),
-                   formatCount(r.stats.depth),
-                   formatDouble(r.stats.compileSeconds)});
+                   formatCount(s.cnotCount), formatCount(s.depth),
+                   formatDouble(s.compileSeconds)});
     }
     kt.print();
+
+    std::printf("\nengine: %zu jobs, cache hits %zu / misses %zu\n",
+                results.size(), engine.cache().hits(),
+                engine.cache().misses());
     return 0;
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Quick end-to-end smoke: configure + build, then run one batch bench
+# binary in quick mode and check its JSON trajectory appears.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export TETRIS_BENCH_QUICK=1
+export TETRIS_ENGINE_THREADS="${TETRIS_ENGINE_THREADS:-2}"
+
+cmake -B build -S .
+cmake --build build -j
+
+(cd build && ./table2_main)
+test -s build/BENCH_table2.json
+echo "smoke OK: build/BENCH_table2.json written"

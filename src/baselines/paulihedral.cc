@@ -40,6 +40,7 @@ compilePaulihedral(const std::vector<PauliBlock> &blocks,
 
     CompileResult result;
     result.blockOrder.reserve(order.size());
+    auto t_sched = std::chrono::steady_clock::now();
     for (size_t idx : order) {
         const PauliBlock &b = blocks[idx];
         for (size_t i = 0; i < b.size(); ++i) {
@@ -49,6 +50,7 @@ compilePaulihedral(const std::vector<PauliBlock> &blocks,
         result.blockOrder.push_back(idx);
     }
 
+    auto t_synth = std::chrono::steady_clock::now();
     if (opts.runPeephole)
         circ = peepholeOptimize(circ);
 
@@ -59,6 +61,12 @@ compilePaulihedral(const std::vector<PauliBlock> &blocks,
     finalizeStats(result.circuit, naiveCnotCount(blocks),
                   std::chrono::duration<double>(t1 - t0).count(),
                   synth_stats, result.stats);
+    result.stats.scheduleSeconds =
+        std::chrono::duration<double>(t_sched - t0).count();
+    result.stats.synthSeconds =
+        std::chrono::duration<double>(t_synth - t_sched).count();
+    result.stats.peepholeSeconds =
+        std::chrono::duration<double>(t1 - t_synth).count();
     return result;
 }
 

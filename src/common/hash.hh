@@ -1,0 +1,60 @@
+/**
+ * @file
+ * FNV-1a content hashing helpers.
+ *
+ * The compile cache keys jobs by a 64-bit content hash of their
+ * inputs (Pauli blocks, coupling graph, compiler options). These
+ * helpers provide the mixing primitives; each value type exposes a
+ * contentHash() built on top of them. Collisions are possible in
+ * principle but negligible at cache scale (< 2^20 entries).
+ */
+
+#ifndef TETRIS_COMMON_HASH_HH
+#define TETRIS_COMMON_HASH_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace tetris
+{
+
+/** FNV-1a 64-bit offset basis. */
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+/** FNV-1a 64-bit prime. */
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** Mix a raw byte buffer into a running FNV-1a hash. */
+inline uint64_t
+fnvMixBytes(uint64_t h, const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Mix one trivially-copyable value into a running hash. */
+template <typename T>
+inline uint64_t
+fnvMix(uint64_t h, const T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "fnvMix needs a trivially copyable value");
+    return fnvMixBytes(h, &v, sizeof(T));
+}
+
+/** Mix a string (length-prefixed so "ab","c" != "a","bc"). */
+inline uint64_t
+fnvMixString(uint64_t h, const std::string &s)
+{
+    h = fnvMix(h, s.size());
+    return fnvMixBytes(h, s.data(), s.size());
+}
+
+} // namespace tetris
+
+#endif // TETRIS_COMMON_HASH_HH

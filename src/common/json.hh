@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal JSON emission.
+ *
+ * A streaming writer sufficient for the machine-readable artifacts
+ * this repo produces (bench trajectories, engine metrics, compile
+ * stats). No parsing, no DOM — just correctly escaped, correctly
+ * comma-separated output. Doubles are emitted with enough precision
+ * to round-trip; non-finite doubles become null.
+ */
+
+#ifndef TETRIS_COMMON_JSON_HH
+#define TETRIS_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tetris
+{
+
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** The serialized document so far. */
+    const std::string &str() const { return out_; }
+
+    static std::string escape(const std::string &s);
+
+  private:
+    void beforeValue();
+
+    std::string out_;
+    /** Per-open-container flag: true once it holds an element. */
+    std::vector<bool> hasElement_;
+    bool pendingKey_ = false;
+};
+
+} // namespace tetris
+
+#endif // TETRIS_COMMON_JSON_HH

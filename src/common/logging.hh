@@ -15,6 +15,23 @@
 #include <sstream>
 #include <string>
 
+// The library relies on C++20 (defaulted operator== in
+// hardware/layout.hh, designated initializers, etc.). Fail the build
+// here, with a readable message, instead of deep inside a template.
+// MSVC keeps __cplusplus at 199711L unless /Zc:__cplusplus is set, so
+// check its _MSVC_LANG instead.
+#if defined(_MSVC_LANG)
+static_assert(_MSVC_LANG >= 202002L,
+              "tetris requires C++20: configure with "
+              "CMAKE_CXX_STANDARD=20 (the bundled CMakeLists.txt "
+              "already does) or pass /std:c++20");
+#else
+static_assert(__cplusplus >= 202002L,
+              "tetris requires C++20: configure with "
+              "CMAKE_CXX_STANDARD=20 (the bundled CMakeLists.txt "
+              "already does) or pass -std=c++20");
+#endif
+
 namespace tetris
 {
 

@@ -6,6 +6,8 @@
 
 #include "chem/uccsd.hh"
 #include "circuit/peephole.hh"
+#include "common/hash.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace tetris
@@ -92,8 +94,13 @@ compileTetris(const std::vector<PauliBlock> &blocks,
     CompileResult result;
     result.blockOrder.reserve(blocks.size());
 
+    double synth_seconds = 0.0;
     auto synthesize = [&](size_t idx) {
+        auto s0 = std::chrono::steady_clock::now();
         synth.synthesizeBlock(ir[idx], layout, circ, synth_stats);
+        synth_seconds += std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - s0)
+                             .count();
         result.blockOrder.push_back(idx);
     };
 
@@ -158,6 +165,7 @@ compileTetris(const std::vector<PauliBlock> &blocks,
         }
     }
 
+    auto t_sched = std::chrono::steady_clock::now();
     if (opts.runPeephole)
         circ = peepholeOptimize(circ);
 
@@ -168,7 +176,65 @@ compileTetris(const std::vector<PauliBlock> &blocks,
     result.finalLayout = layout;
     finalizeStats(result.circuit, naiveCnotCount(blocks), seconds,
                   synth_stats, result.stats);
+    result.stats.synthSeconds = synth_seconds;
+    result.stats.peepholeSeconds =
+        std::chrono::duration<double>(t1 - t_sched).count();
+    result.stats.scheduleSeconds =
+        std::max(0.0, std::chrono::duration<double>(t_sched - t0).count() -
+                          synth_seconds);
     return result;
+}
+
+uint64_t
+optionsContentHash(const TetrisOptions &opts)
+{
+    uint64_t h = fnvMix(kFnvOffset, static_cast<int>(opts.scheduler));
+    h = fnvMix(h, opts.lookaheadK);
+    h = fnvMix(h, opts.runPeephole);
+    h = fnvMix(h, opts.reorderStringsInBlock);
+    h = fnvMix(h, opts.synthesis.swapWeight);
+    h = fnvMix(h, opts.synthesis.enableBridging);
+    h = fnvMix(h, opts.synthesis.adaptiveFallbackFactor);
+    h = fnvMix(h, opts.synthesis.clusterFromLargestCC);
+    return h;
+}
+
+void
+writeJson(JsonWriter &w, const CompileStats &stats)
+{
+    w.beginObject();
+    w.key("cnotCount").value(static_cast<uint64_t>(stats.cnotCount));
+    w.key("oneQubitCount")
+        .value(static_cast<uint64_t>(stats.oneQubitCount));
+    w.key("totalGateCount")
+        .value(static_cast<uint64_t>(stats.totalGateCount));
+    w.key("depth").value(static_cast<uint64_t>(stats.depth));
+    w.key("durationDt").value(stats.durationDt);
+    w.key("swapCount").value(static_cast<uint64_t>(stats.swapCount));
+    w.key("swapCnots").value(static_cast<uint64_t>(stats.swapCnots));
+    w.key("logicalCnots")
+        .value(static_cast<uint64_t>(stats.logicalCnots));
+    w.key("originalCnots")
+        .value(static_cast<uint64_t>(stats.originalCnots));
+    w.key("cancelRatio").value(stats.cancelRatio);
+    w.key("compileSeconds").value(stats.compileSeconds);
+    w.key("scheduleSeconds").value(stats.scheduleSeconds);
+    w.key("synthSeconds").value(stats.synthSeconds);
+    w.key("peepholeSeconds").value(stats.peepholeSeconds);
+    w.key("synthesis").beginObject();
+    w.key("insertedSwaps")
+        .value(static_cast<uint64_t>(stats.synthesis.insertedSwaps));
+    w.key("emittedCx")
+        .value(static_cast<uint64_t>(stats.synthesis.emittedCx));
+    w.key("bridgeNodes")
+        .value(static_cast<uint64_t>(stats.synthesis.bridgeNodes));
+    w.key("blocksWithCancellation")
+        .value(static_cast<uint64_t>(
+            stats.synthesis.blocksWithCancellation));
+    w.key("blocksFallback")
+        .value(static_cast<uint64_t>(stats.synthesis.blocksFallback));
+    w.endObject();
+    w.endObject();
 }
 
 } // namespace tetris

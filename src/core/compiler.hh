@@ -14,6 +14,7 @@
 #ifndef TETRIS_CORE_COMPILER_HH
 #define TETRIS_CORE_COMPILER_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/circuit.hh"
@@ -71,6 +72,12 @@ struct CompileStats
     size_t originalCnots = 0;  ///< Naive per-string chain CNOTs.
     double cancelRatio = 0.0;  ///< (original - logical) / original.
     double compileSeconds = 0.0;
+    /** Scheduler time: ranking + cost estimation (not synthesis). */
+    double scheduleSeconds = 0.0;
+    /** Time inside per-block synthesis. */
+    double synthSeconds = 0.0;
+    /** Time inside the peephole ("O3") pass. */
+    double peepholeSeconds = 0.0;
     SynthStats synthesis;
 };
 
@@ -95,6 +102,17 @@ int blocksNumQubits(const std::vector<PauliBlock> &blocks);
 void finalizeStats(const Circuit &circuit, size_t original_cnots,
                    double compile_seconds, const SynthStats &synth,
                    CompileStats &stats);
+
+/**
+ * FNV-1a hash over every compiler knob (scheduler, lookahead K,
+ * peephole/reorder toggles, and all synthesis options). Part of the
+ * compile-cache key: two option sets hashing equal compile equally.
+ */
+uint64_t optionsContentHash(const TetrisOptions &opts);
+
+/** Append `stats` as a JSON object to `w`. */
+class JsonWriter;
+void writeJson(JsonWriter &w, const CompileStats &stats);
 
 } // namespace tetris
 

@@ -1,0 +1,61 @@
+#include "engine/compile_cache.hh"
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+void
+CompileCache::Entry::publish(std::shared_ptr<const CompileResult> result)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        TETRIS_ASSERT(!ready_, "cache entry published twice");
+        result_ = std::move(result);
+        ready_ = true;
+    }
+    published_.notify_all();
+}
+
+std::shared_ptr<const CompileResult>
+CompileCache::Entry::get() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    published_.wait(lock, [this] { return ready_; });
+    return result_;
+}
+
+std::shared_ptr<CompileCache::Entry>
+CompileCache::acquire(uint64_t key, bool &is_new)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        is_new = false;
+        hits_.fetch_add(1);
+        return it->second;
+    }
+    is_new = true;
+    misses_.fetch_add(1);
+    auto entry = std::make_shared<Entry>();
+    entries_.emplace(key, entry);
+    return entry;
+}
+
+size_t
+CompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+CompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_.store(0);
+    misses_.store(0);
+}
+
+} // namespace tetris

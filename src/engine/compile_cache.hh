@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Content-addressed cache of compilation results.
+ *
+ * Jobs are keyed by a 64-bit FNV content hash of (blocks, coupling
+ * graph, pipeline, options); see Engine::jobKey. The cache also
+ * deduplicates in-flight work: the first submitter of a key computes
+ * the result while concurrent submitters of the same key block on the
+ * shared Entry instead of recompiling. Results are immutable once
+ * published (shared_ptr<const CompileResult>).
+ */
+
+#ifndef TETRIS_ENGINE_COMPILE_CACHE_HH
+#define TETRIS_ENGINE_COMPILE_CACHE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/compiler.hh"
+
+namespace tetris
+{
+
+class CompileCache
+{
+  public:
+    /**
+     * One cache slot: created unpublished, filled exactly once by the
+     * job that owns the compilation, awaited by everyone else.
+     */
+    class Entry
+    {
+      public:
+        /** Publish the result and wake all waiters (call once). */
+        void publish(std::shared_ptr<const CompileResult> result);
+
+        /** Block until published, then return the result. */
+        std::shared_ptr<const CompileResult> get() const;
+
+      private:
+        mutable std::mutex mutex_;
+        mutable std::condition_variable published_;
+        std::shared_ptr<const CompileResult> result_;
+        bool ready_ = false;
+    };
+
+    /**
+     * Look up `key`, inserting an unpublished Entry if absent.
+     * `is_new` tells the caller whether it must compute and publish
+     * (miss) or merely wait on the returned entry (hit — including
+     * hits on entries still being computed).
+     */
+    std::shared_ptr<Entry> acquire(uint64_t key, bool &is_new);
+
+    size_t hits() const { return hits_.load(); }
+    size_t misses() const { return misses_.load(); }
+    size_t size() const;
+
+    /** Drop all entries and reset the hit/miss counters. */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, std::shared_ptr<Entry>> entries_;
+    std::atomic<size_t> hits_{0};
+    std::atomic<size_t> misses_{0};
+};
+
+} // namespace tetris
+
+#endif // TETRIS_ENGINE_COMPILE_CACHE_HH

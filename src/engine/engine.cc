@@ -1,0 +1,105 @@
+#include "engine/engine.hh"
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+Engine::Engine(EngineOptions opts)
+    : opts_(opts), pool_(ThreadPool::resolveThreadCount(opts.numThreads))
+{
+}
+
+Engine::~Engine()
+{
+    pool_.waitIdle();
+}
+
+uint64_t
+Engine::jobKey(const CompileJob &job)
+{
+    TETRIS_ASSERT(job.hw != nullptr, "job without a device");
+    uint64_t h = fnvMix(kFnvOffset, static_cast<int>(job.pipeline));
+    h = fnvMix(h, job.hw->contentHash());
+    h = fnvMix(h, job.blocks.size());
+    for (const auto &b : job.blocks)
+        h = fnvMix(h, b.contentHash());
+    if (job.pipeline == PipelineKind::Tetris)
+        h = fnvMix(h, optionsContentHash(job.tetris));
+    else
+        h = fnvMix(h, job.paulihedral.runPeephole);
+    return h;
+}
+
+void
+Engine::runJob(const CompileJob &job,
+               const std::shared_ptr<CompileCache::Entry> &entry)
+{
+    CompileResult result =
+        job.pipeline == PipelineKind::Tetris
+            ? compileTetris(job.blocks, *job.hw, job.tetris)
+            : compilePaulihedral(job.blocks, *job.hw, job.paulihedral);
+    metrics_.recordCompile(result.stats);
+    metrics_.addCount("jobs.completed");
+    entry->publish(
+        std::make_shared<const CompileResult>(std::move(result)));
+}
+
+Engine::JobId
+Engine::submit(CompileJob job)
+{
+    TETRIS_ASSERT(job.hw != nullptr, "job without a device");
+    metrics_.addCount("jobs.submitted");
+
+    std::shared_ptr<CompileCache::Entry> entry;
+    bool is_new = true;
+    if (opts_.enableCache) {
+        entry = cache_.acquire(jobKey(job), is_new);
+    } else {
+        // No dedup: every submission gets a private slot.
+        entry = std::make_shared<CompileCache::Entry>();
+    }
+
+    if (is_new) {
+        // The worker owns a copy of the job; callers may mutate or
+        // destroy theirs immediately after submit().
+        pool_.submit(
+            [this, job = std::move(job), entry] { runJob(job, entry); });
+    } else {
+        metrics_.addCount("jobs.deduplicated");
+    }
+
+    std::lock_guard<std::mutex> lock(jobsMutex_);
+    jobs_.push_back(entry);
+    return jobs_.size() - 1;
+}
+
+std::shared_ptr<const CompileResult>
+Engine::wait(JobId id)
+{
+    std::shared_ptr<CompileCache::Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(jobsMutex_);
+        TETRIS_ASSERT(id < jobs_.size(), "unknown job id ", id);
+        entry = jobs_[id];
+    }
+    return entry->get();
+}
+
+std::vector<std::shared_ptr<const CompileResult>>
+Engine::compileAll(std::vector<CompileJob> jobs)
+{
+    std::vector<JobId> ids;
+    ids.reserve(jobs.size());
+    for (auto &job : jobs)
+        ids.push_back(submit(std::move(job)));
+
+    std::vector<std::shared_ptr<const CompileResult>> results;
+    results.reserve(ids.size());
+    for (JobId id : ids)
+        results.push_back(wait(id));
+    return results;
+}
+
+} // namespace tetris

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Batch compilation engine.
+ *
+ * Accepts many CompileJobs (block list + device + options), executes
+ * them concurrently on a worker thread pool, deduplicates identical
+ * jobs through a content-addressed CompileCache, and aggregates
+ * per-stage timing into a MetricsRegistry. Results are deterministic:
+ * each job's CompileResult is bit-identical to what a serial
+ * compileTetris()/compilePaulihedral() call would produce, and
+ * compileAll() returns results in submission order regardless of
+ * worker interleaving.
+ *
+ * Thread count defaults to TETRIS_ENGINE_THREADS, falling back to
+ * hardware concurrency (see ThreadPool::resolveThreadCount).
+ */
+
+#ifndef TETRIS_ENGINE_ENGINE_HH
+#define TETRIS_ENGINE_ENGINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/paulihedral.hh"
+#include "core/compiler.hh"
+#include "engine/compile_cache.hh"
+#include "engine/metrics.hh"
+#include "engine/thread_pool.hh"
+#include "hardware/coupling_graph.hh"
+#include "pauli/pauli_block.hh"
+
+namespace tetris
+{
+
+/** Which compiler pipeline a job runs. */
+enum class PipelineKind
+{
+    Tetris,
+    Paulihedral,
+};
+
+/** One unit of batch work: a workload, a device, and options. */
+struct CompileJob
+{
+    /** Display name for progress reporting and JSON artifacts. */
+    std::string name;
+    std::vector<PauliBlock> blocks;
+    /** Shared so many jobs can target one device cheaply. */
+    std::shared_ptr<const CouplingGraph> hw;
+    PipelineKind pipeline = PipelineKind::Tetris;
+    TetrisOptions tetris;
+    /** Only read when pipeline == Paulihedral. */
+    PaulihedralOptions paulihedral;
+};
+
+struct EngineOptions
+{
+    /** 0 = TETRIS_ENGINE_THREADS env, else hardware concurrency. */
+    int numThreads = 0;
+    /** Deduplicate identical jobs through the compile cache. */
+    bool enableCache = true;
+};
+
+class Engine
+{
+  public:
+    using JobId = size_t;
+
+    explicit Engine(EngineOptions opts = EngineOptions());
+
+    /** Drains all outstanding jobs. */
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Enqueue a job; returns a handle for wait(). */
+    JobId submit(CompileJob job);
+
+    /** Block until the job finishes; its immutable result. */
+    std::shared_ptr<const CompileResult> wait(JobId id);
+
+    /**
+     * Submit every job and wait for all of them. results[i] belongs
+     * to jobs[i] — submission order, independent of scheduling.
+     */
+    std::vector<std::shared_ptr<const CompileResult>>
+    compileAll(std::vector<CompileJob> jobs);
+
+    int numThreads() const { return pool_.numThreads(); }
+    const CompileCache &cache() const { return cache_; }
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * Content hash of everything that determines a job's output:
+     * blocks, coupling graph, pipeline kind, and options. The
+     * compile-cache key.
+     */
+    static uint64_t jobKey(const CompileJob &job);
+
+  private:
+    void runJob(const CompileJob &job,
+                const std::shared_ptr<CompileCache::Entry> &entry);
+
+    EngineOptions opts_;
+    MetricsRegistry metrics_;
+    CompileCache cache_;
+    ThreadPool pool_;
+
+    std::mutex jobsMutex_;
+    std::vector<std::shared_ptr<CompileCache::Entry>> jobs_;
+};
+
+} // namespace tetris
+
+#endif // TETRIS_ENGINE_ENGINE_HH

@@ -1,0 +1,98 @@
+#include "engine/metrics.hh"
+
+#include "common/json.hh"
+#include "core/compiler.hh"
+
+namespace tetris
+{
+
+void
+MetricsRegistry::addCount(const std::string &name, uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counts_[name] += delta;
+}
+
+void
+MetricsRegistry::addSeconds(const std::string &name, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    timers_[name] += seconds;
+}
+
+void
+MetricsRegistry::recordCompile(const CompileStats &stats)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    timers_["compile.total"] += stats.compileSeconds;
+    timers_["compile.schedule"] += stats.scheduleSeconds;
+    timers_["compile.synthesis"] += stats.synthSeconds;
+    timers_["compile.peephole"] += stats.peepholeSeconds;
+    counts_["gates.cnot"] += stats.cnotCount;
+    counts_["gates.oneq"] += stats.oneQubitCount;
+    counts_["gates.swap"] += stats.swapCount;
+}
+
+uint64_t
+MetricsRegistry::count(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counts_.find(name);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double
+MetricsRegistry::seconds(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = timers_.find(name);
+    return it == timers_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, uint64_t>
+MetricsRegistry::counts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counts_;
+}
+
+std::map<std::string, double>
+MetricsRegistry::timers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return timers_;
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counts_.clear();
+    timers_.clear();
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &w) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    w.beginObject();
+    w.key("counts").beginObject();
+    for (const auto &[name, v] : counts_)
+        w.key(name).value(v);
+    w.endObject();
+    w.key("seconds").beginObject();
+    for (const auto &[name, v] : timers_)
+        w.key(name).value(v);
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+} // namespace tetris

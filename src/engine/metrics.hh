@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Thread-safe metrics registry for the batch-compilation engine.
+ *
+ * Named monotonic counters and accumulated timers. The engine feeds
+ * it per-job events (submissions, completions, cache traffic) and the
+ * per-stage timings the compiler records in CompileStats (scheduling,
+ * synthesis, peephole), so a batch run can report where the time went
+ * across all workers. Snapshots serialize to JSON for the BENCH_*
+ * trajectory files.
+ */
+
+#ifndef TETRIS_ENGINE_METRICS_HH
+#define TETRIS_ENGINE_METRICS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace tetris
+{
+
+class JsonWriter;
+struct CompileStats;
+
+class MetricsRegistry
+{
+  public:
+    /** Add to a named monotonic counter (creates it at 0). */
+    void addCount(const std::string &name, uint64_t delta = 1);
+
+    /** Accumulate seconds on a named timer (creates it at 0). */
+    void addSeconds(const std::string &name, double seconds);
+
+    /** Fold one job's per-stage timings and gate counts in. */
+    void recordCompile(const CompileStats &stats);
+
+    uint64_t count(const std::string &name) const;
+    double seconds(const std::string &name) const;
+
+    /** Stable-ordered copies for reporting. */
+    std::map<std::string, uint64_t> counts() const;
+    std::map<std::string, double> timers() const;
+
+    /** Reset every counter and timer to zero. */
+    void clear();
+
+    /** {"counts": {...}, "seconds": {...}} appended to `w`. */
+    void writeJson(JsonWriter &w) const;
+
+    /** Standalone JSON document of the current snapshot. */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, uint64_t> counts_;
+    std::map<std::string, double> timers_;
+};
+
+/** RAII timer adding its lifetime to a registry timer. */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(MetricsRegistry &registry, std::string name)
+        : registry_(registry), name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer()
+    {
+        registry_.addSeconds(
+            name_, std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    MetricsRegistry &registry_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace tetris
+
+#endif // TETRIS_ENGINE_METRICS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-size worker thread pool.
+ *
+ * A condition-variable work queue shared by N worker threads. Tasks
+ * are arbitrary void() callables; submission order is FIFO but
+ * completion order is unspecified — callers needing per-task results
+ * synchronize on their own state (see CompileCache::Entry). The pool
+ * drains outstanding tasks before the destructor returns.
+ */
+
+#ifndef TETRIS_ENGINE_THREAD_POOL_HH
+#define TETRIS_ENGINE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tetris
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawn `num_threads` workers (clamped to >= 1). */
+    explicit ThreadPool(int num_threads);
+
+    /** Waits for all queued and running tasks, then joins workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task; runs on some worker, exceptions are fatal. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void waitIdle();
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Resolve a thread-count request: a positive request wins;
+     * otherwise the TETRIS_ENGINE_THREADS environment variable;
+     * otherwise std::thread::hardware_concurrency(). Always >= 1.
+     */
+    static int resolveThreadCount(int requested);
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    int activeTasks_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace tetris
+
+#endif // TETRIS_ENGINE_THREAD_POOL_HH

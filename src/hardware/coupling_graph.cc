@@ -4,6 +4,7 @@
 #include <deque>
 #include <limits>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace tetris
@@ -129,6 +130,25 @@ CouplingGraph::maxDegree() const
     for (const auto &nbrs : adj_)
         d = std::max(d, nbrs.size());
     return static_cast<int>(d);
+}
+
+uint64_t
+CouplingGraph::contentHash() const
+{
+    // Canonicalize the edge list so construction order is irrelevant.
+    std::vector<std::pair<int, int>> canon = edges_;
+    for (auto &[a, b] : canon) {
+        if (a > b)
+            std::swap(a, b);
+    }
+    std::sort(canon.begin(), canon.end());
+    uint64_t h = fnvMix(kFnvOffset, numQubits_);
+    h = fnvMix(h, canon.size());
+    for (const auto &[a, b] : canon) {
+        h = fnvMix(h, a);
+        h = fnvMix(h, b);
+    }
+    return h;
 }
 
 } // namespace tetris

@@ -6,6 +6,7 @@
 #ifndef TETRIS_HARDWARE_COUPLING_GRAPH_HH
 #define TETRIS_HARDWARE_COUPLING_GRAPH_HH
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,6 +59,13 @@ class CouplingGraph
 
     /** Maximum node degree (used by topology tests). */
     int maxDegree() const;
+
+    /**
+     * FNV-1a hash over node count and edge list (the name is
+     * excluded: two graphs with the same connectivity compile
+     * identically). Used to key the compile cache.
+     */
+    uint64_t contentHash() const;
 
   private:
     int numQubits_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace tetris
@@ -91,6 +92,20 @@ PauliBlock::commonOperatorCount(const PauliString &a, const PauliString &b)
             ++c;
     }
     return c;
+}
+
+uint64_t
+PauliBlock::contentHash() const
+{
+    uint64_t h = fnvMix(kFnvOffset, strings_.size());
+    for (const auto &s : strings_) {
+        h = fnvMix(h, s.numQubits());
+        for (size_t q = 0; q < s.numQubits(); ++q)
+            h = fnvMix(h, static_cast<uint8_t>(s.op(q)));
+    }
+    for (double w : weights_)
+        h = fnvMix(h, w);
+    return fnvMix(h, theta_);
 }
 
 size_t

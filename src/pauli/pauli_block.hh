@@ -12,6 +12,7 @@
 #ifndef TETRIS_PAULI_PAULI_BLOCK_HH
 #define TETRIS_PAULI_PAULI_BLOCK_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "pauli/pauli_string.hh"
@@ -62,6 +63,12 @@ class PauliBlock
     /** Qubits where both strings carry the same non-I operator. */
     static size_t commonOperatorCount(const PauliString &a,
                                       const PauliString &b);
+
+    /**
+     * FNV-1a hash over strings, weights and theta. Two blocks with
+     * equal content hash equal; used to key the compile cache.
+     */
+    uint64_t contentHash() const;
 
   private:
     std::vector<PauliString> strings_;

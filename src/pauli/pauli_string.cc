@@ -1,5 +1,8 @@
 #include "pauli/pauli_string.hh"
 
+#include "common/hash.hh"
+#include "common/logging.hh"
+
 namespace tetris
 {
 
@@ -61,12 +64,10 @@ PauliString::toText() const
 size_t
 PauliStringHash::operator()(const PauliString &s) const
 {
-    size_t h = 1469598103934665603ull;
-    for (PauliOp p : s.ops()) {
-        h ^= static_cast<size_t>(p);
-        h *= 1099511628211ull;
-    }
-    return h;
+    uint64_t h = kFnvOffset;
+    for (PauliOp p : s.ops())
+        h = fnvMix(h, static_cast<uint8_t>(p));
+    return static_cast<size_t>(h);
 }
 
 PauliStringProduct

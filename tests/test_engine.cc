@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Batch-engine tests: parallel-vs-serial determinism, compile-cache
+ * hit/miss accounting and in-flight dedup, thread-pool stress, the
+ * single-thread fallback, the TETRIS_ENGINE_THREADS knob, and JSON
+ * serialization of stats and metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "chem/uccsd.hh"
+#include "common/json.hh"
+#include "engine/engine.hh"
+#include "engine/thread_pool.hh"
+#include "hardware/topologies.hh"
+
+namespace tetris
+{
+namespace
+{
+
+/** A mixed >= 8-job workload over two devices and several options. */
+std::vector<CompileJob>
+mixedJobs()
+{
+    auto hex = std::make_shared<const CouplingGraph>(heavyHexTopology(2, 5));
+    auto grid = std::make_shared<const CouplingGraph>(gridTopology(4, 4));
+
+    std::vector<CompileJob> jobs;
+    for (int n : {6, 8, 10}) {
+        CompileJob job;
+        job.name = "ucc" + std::to_string(n);
+        job.blocks = buildSyntheticUcc(n, 42 + n);
+        job.hw = n <= 8 ? hex : grid;
+        jobs.push_back(job);
+
+        CompileJob lex = job;
+        lex.name += "/lex";
+        lex.tetris.scheduler = SchedulerKind::Lexicographic;
+        jobs.push_back(std::move(lex));
+
+        CompileJob ph = job;
+        ph.name += "/ph";
+        ph.pipeline = PipelineKind::Paulihedral;
+        jobs.push_back(std::move(ph));
+    }
+    return jobs;
+}
+
+/** Deterministic (non-timing) fields must match bit for bit. */
+void
+expectSameResult(const CompileResult &a, const CompileResult &b)
+{
+    EXPECT_EQ(a.stats.cnotCount, b.stats.cnotCount);
+    EXPECT_EQ(a.stats.oneQubitCount, b.stats.oneQubitCount);
+    EXPECT_EQ(a.stats.totalGateCount, b.stats.totalGateCount);
+    EXPECT_EQ(a.stats.depth, b.stats.depth);
+    EXPECT_EQ(a.stats.durationDt, b.stats.durationDt);
+    EXPECT_EQ(a.stats.swapCount, b.stats.swapCount);
+    EXPECT_EQ(a.stats.swapCnots, b.stats.swapCnots);
+    EXPECT_EQ(a.stats.logicalCnots, b.stats.logicalCnots);
+    EXPECT_EQ(a.stats.originalCnots, b.stats.originalCnots);
+    EXPECT_EQ(a.stats.cancelRatio, b.stats.cancelRatio);
+    EXPECT_EQ(a.stats.synthesis.insertedSwaps,
+              b.stats.synthesis.insertedSwaps);
+    EXPECT_EQ(a.stats.synthesis.emittedCx, b.stats.synthesis.emittedCx);
+    EXPECT_EQ(a.blockOrder, b.blockOrder);
+    EXPECT_EQ(a.finalLayout, b.finalLayout);
+    EXPECT_EQ(a.circuit.totalGateCount(), b.circuit.totalGateCount());
+}
+
+TEST(ThreadPool, StressManyTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.numThreads(), 4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 500; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 500);
+
+    // Pool stays usable after an idle period.
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 501);
+}
+
+TEST(ThreadPool, ResolveThreadCount)
+{
+    EXPECT_EQ(ThreadPool::resolveThreadCount(3), 3);
+    ::setenv("TETRIS_ENGINE_THREADS", "5", 1);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(0), 5);
+    ::setenv("TETRIS_ENGINE_THREADS", "garbage", 1);
+    EXPECT_GE(ThreadPool::resolveThreadCount(0), 1);
+    ::unsetenv("TETRIS_ENGINE_THREADS");
+    EXPECT_GE(ThreadPool::resolveThreadCount(0), 1);
+}
+
+TEST(Engine, ParallelMatchesSerial)
+{
+    auto jobs = mixedJobs();
+    ASSERT_GE(jobs.size(), 8u);
+
+    // Serial reference: direct pipeline calls, no engine.
+    std::vector<CompileResult> serial;
+    for (const auto &job : jobs) {
+        serial.push_back(job.pipeline == PipelineKind::Tetris
+                             ? compileTetris(job.blocks, *job.hw,
+                                             job.tetris)
+                             : compilePaulihedral(job.blocks, *job.hw,
+                                                  job.paulihedral));
+    }
+
+    EngineOptions opts;
+    opts.numThreads = 4;
+    Engine engine(opts);
+    EXPECT_EQ(engine.numThreads(), 4);
+    auto parallel = engine.compileAll(jobs);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_NE(parallel[i], nullptr);
+        expectSameResult(*parallel[i], serial[i]);
+    }
+    EXPECT_EQ(engine.metrics().count("jobs.submitted"), jobs.size());
+    EXPECT_EQ(engine.metrics().count("jobs.completed"), jobs.size());
+}
+
+TEST(Engine, CacheHitsOnRepeatedJob)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(10));
+    CompileJob job;
+    job.name = "repeat";
+    job.blocks = buildSyntheticUcc(8, 7);
+    job.hw = hw;
+
+    EngineOptions opts;
+    opts.numThreads = 2;
+    Engine engine(opts);
+
+    auto id0 = engine.submit(job);
+    auto id1 = engine.submit(job); // identical -> served from cache
+    CompileJob other = job;
+    other.tetris.lookaheadK = 3; // different options -> distinct key
+    auto id2 = engine.submit(other);
+
+    auto r0 = engine.wait(id0);
+    auto r1 = engine.wait(id1);
+    auto r2 = engine.wait(id2);
+
+    EXPECT_EQ(engine.cache().hits(), 1u);
+    EXPECT_EQ(engine.cache().misses(), 2u);
+    EXPECT_EQ(engine.cache().size(), 2u);
+    EXPECT_EQ(r0, r1); // literally the same immutable result
+    EXPECT_NE(r0, r2);
+    EXPECT_EQ(engine.metrics().count("jobs.deduplicated"), 1u);
+    // Only two compilations actually ran.
+    EXPECT_EQ(engine.metrics().count("jobs.completed"), 2u);
+    expectSameResult(*r0, *r1);
+}
+
+TEST(Engine, CacheKeySensitivity)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+    CompileJob base;
+    base.blocks = buildSyntheticUcc(6, 11);
+    base.hw = hw;
+
+    uint64_t k0 = Engine::jobKey(base);
+    EXPECT_EQ(k0, Engine::jobKey(base)); // stable
+
+    CompileJob tweaked = base;
+    tweaked.tetris.synthesis.swapWeight = 5.0;
+    EXPECT_NE(Engine::jobKey(tweaked), k0);
+
+    CompileJob ph = base;
+    ph.pipeline = PipelineKind::Paulihedral;
+    EXPECT_NE(Engine::jobKey(ph), k0);
+
+    CompileJob fewer = base;
+    fewer.blocks.pop_back();
+    EXPECT_NE(Engine::jobKey(fewer), k0);
+
+    CompileJob wider = base;
+    wider.hw = std::make_shared<const CouplingGraph>(lineTopology(9));
+    EXPECT_NE(Engine::jobKey(wider), k0);
+
+    // The job display name must NOT affect the key.
+    CompileJob renamed = base;
+    renamed.name = "something-else";
+    EXPECT_EQ(Engine::jobKey(renamed), k0);
+}
+
+TEST(Engine, StressJobsExceedThreads)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+    EngineOptions opts;
+    opts.numThreads = 3;
+    Engine engine(opts);
+
+    // 32 submissions over 8 distinct workloads: heavy oversubscription
+    // plus in-flight dedup pressure.
+    std::vector<Engine::JobId> ids;
+    for (int round = 0; round < 4; ++round) {
+        for (int n = 0; n < 8; ++n) {
+            CompileJob job;
+            job.name = "stress" + std::to_string(n);
+            job.blocks = buildSyntheticUcc(5 + n % 3, 100 + n);
+            job.hw = hw;
+            ids.push_back(engine.submit(job));
+        }
+    }
+    std::vector<std::shared_ptr<const CompileResult>> results;
+    for (auto id : ids)
+        results.push_back(engine.wait(id));
+
+    for (const auto &r : results)
+        ASSERT_NE(r, nullptr);
+    // Repeats of a workload return the cached object.
+    for (size_t i = 8; i < results.size(); ++i)
+        EXPECT_EQ(results[i], results[i % 8]);
+    EXPECT_EQ(engine.cache().misses(), 8u);
+    EXPECT_EQ(engine.cache().hits(), 24u);
+    EXPECT_EQ(engine.metrics().count("jobs.completed"), 8u);
+}
+
+TEST(Engine, SingleThreadFallback)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+    EngineOptions opts;
+    opts.numThreads = 1;
+    Engine engine(opts);
+    EXPECT_EQ(engine.numThreads(), 1);
+
+    std::vector<CompileJob> jobs;
+    for (int n : {5, 6, 7}) {
+        CompileJob job;
+        job.blocks = buildSyntheticUcc(n, n);
+        job.hw = hw;
+        jobs.push_back(std::move(job));
+    }
+    auto results = engine.compileAll(jobs);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        auto ref = compileTetris(jobs[i].blocks, *jobs[i].hw);
+        expectSameResult(*results[i], ref);
+    }
+}
+
+TEST(Engine, CacheDisabled)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+    CompileJob job;
+    job.blocks = buildSyntheticUcc(6, 3);
+    job.hw = hw;
+
+    EngineOptions opts;
+    opts.numThreads = 2;
+    opts.enableCache = false;
+    Engine engine(opts);
+    auto r0 = engine.wait(engine.submit(job));
+    auto r1 = engine.wait(engine.submit(job));
+    EXPECT_NE(r0, r1); // compiled twice, distinct objects
+    expectSameResult(*r0, *r1);
+    EXPECT_EQ(engine.cache().hits(), 0u);
+    EXPECT_EQ(engine.cache().misses(), 0u);
+    EXPECT_EQ(engine.metrics().count("jobs.completed"), 2u);
+}
+
+TEST(Engine, StatsSerializeToJson)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+    CompileJob job;
+    job.blocks = buildSyntheticUcc(6, 9);
+    job.hw = hw;
+    Engine engine;
+    auto result = engine.wait(engine.submit(job));
+
+    JsonWriter w;
+    writeJson(w, result->stats);
+    const std::string &doc = w.str();
+    EXPECT_NE(doc.find("\"cnotCount\""), std::string::npos);
+    EXPECT_NE(doc.find("\"scheduleSeconds\""), std::string::npos);
+    EXPECT_NE(doc.find("\"synthesis\""), std::string::npos);
+
+    std::string metrics = engine.metrics().toJson();
+    EXPECT_NE(metrics.find("\"counts\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"jobs.completed\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"compile.total\""), std::string::npos);
+}
+
+TEST(Metrics, CountersTimersAndScopedTimer)
+{
+    MetricsRegistry reg;
+    reg.addCount("events", 2);
+    reg.addCount("events");
+    EXPECT_EQ(reg.count("events"), 3u);
+    EXPECT_EQ(reg.count("missing"), 0u);
+
+    reg.addSeconds("phase.a", 0.25);
+    reg.addSeconds("phase.a", 0.5);
+    EXPECT_DOUBLE_EQ(reg.seconds("phase.a"), 0.75);
+    EXPECT_DOUBLE_EQ(reg.seconds("missing"), 0.0);
+
+    {
+        ScopedTimer t(reg, "phase.b");
+    }
+    EXPECT_GE(reg.seconds("phase.b"), 0.0);
+
+    reg.clear();
+    EXPECT_EQ(reg.count("events"), 0u);
+    EXPECT_DOUBLE_EQ(reg.seconds("phase.a"), 0.0);
+}
+
+TEST(Json, WriterBasics)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("a").value(1);
+    w.key("b").beginArray().value("x\"y").value(2.5).value(true).null();
+    w.endArray();
+    w.key("c").beginObject().key("d").value(uint64_t{7}).endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"a\":1,\"b\":[\"x\\\"y\",2.5,true,null],"
+              "\"c\":{\"d\":7}}");
+}
+
+} // namespace
+} // namespace tetris
