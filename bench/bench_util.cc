@@ -5,6 +5,8 @@
 #include <cstring>
 #include <fstream>
 
+#include <unistd.h>
+
 #include "common/json.hh"
 
 namespace tetris::bench
@@ -41,10 +43,38 @@ improvement(double a, double b)
     return a == 0.0 ? 0.0 : (a - b) / a;
 }
 
+namespace
+{
+
+/** Default: progress on a terminal only; the env var overrides. */
+bool
+progressEnabled()
+{
+    if (const char *v = std::getenv("TETRIS_BENCH_PROGRESS"))
+        return std::strcmp(v, "0") != 0;
+    return isatty(fileno(stderr)) != 0;
+}
+
+EngineOptions
+benchEngineOptions()
+{
+    EngineOptions opts;
+    if (progressEnabled()) {
+        opts.onJobDone = [](size_t done, size_t total,
+                            const std::string &name) {
+            std::fprintf(stderr, "  [%zu/%zu] %s\n", done, total,
+                         name.c_str());
+        };
+    }
+    return opts;
+}
+
+} // namespace
+
 Engine &
 benchEngine()
 {
-    static Engine engine;
+    static Engine engine(benchEngineOptions());
     return engine;
 }
 
@@ -52,6 +82,36 @@ std::shared_ptr<const CouplingGraph>
 shareDevice(CouplingGraph hw)
 {
     return std::make_shared<const CouplingGraph>(std::move(hw));
+}
+
+CompileJob
+makeJob(std::string name, std::vector<PauliBlock> blocks,
+        std::shared_ptr<const CouplingGraph> hw, PipelinePtr pipeline)
+{
+    CompileJob job;
+    job.name = std::move(name);
+    job.blocks = std::move(blocks);
+    job.hw = std::move(hw);
+    if (pipeline)
+        job.pipeline = std::move(pipeline);
+    return job;
+}
+
+std::vector<BenchRecord>
+runJobs(Engine &engine, std::vector<CompileJob> jobs)
+{
+    std::vector<std::string> names;
+    names.reserve(jobs.size());
+    for (const auto &job : jobs)
+        names.push_back(job.name);
+
+    auto results = engine.compileAll(std::move(jobs));
+
+    std::vector<BenchRecord> records;
+    records.reserve(results.size());
+    for (size_t i = 0; i < results.size(); ++i)
+        records.emplace_back(std::move(names[i]), results[i]);
+    return records;
 }
 
 std::string

@@ -25,6 +25,7 @@
 
 #include "chem/uccsd.hh"
 #include "common/table.hh"
+#include "core/pipeline_adapters.hh"
 #include "engine/engine.hh"
 #include "hardware/topologies.hh"
 #include "pauli/pauli_block.hh"
@@ -44,15 +45,32 @@ void printBanner(const std::string &title, const std::string &note);
 /** Percentage improvement of b over a: (a-b)/a. */
 double improvement(double a, double b);
 
-/** The process-wide batch engine all bench sweeps submit to. */
+/**
+ * The process-wide batch engine all bench sweeps submit to. Prints a
+ * "[done/total] name" progress line per finished job to stderr when
+ * it is a terminal; TETRIS_BENCH_PROGRESS=1/0 forces it on/off.
+ */
 Engine &benchEngine();
 
 /** Wrap a device for sharing across many CompileJobs. */
 std::shared_ptr<const CouplingGraph> shareDevice(CouplingGraph hw);
 
+/** Assemble a CompileJob (null pipeline = default Tetris). */
+CompileJob makeJob(std::string name, std::vector<PauliBlock> blocks,
+                   std::shared_ptr<const CouplingGraph> hw,
+                   PipelinePtr pipeline = nullptr);
+
 /** One named result row of a finished sweep. */
 using BenchRecord =
     std::pair<std::string, std::shared_ptr<const CompileResult>>;
+
+/**
+ * Compile the whole sweep through `engine` and pair each result with
+ * its job's name, in submission order -- the input of both the table
+ * printers and writeBenchJson().
+ */
+std::vector<BenchRecord> runJobs(Engine &engine,
+                                 std::vector<CompileJob> jobs);
 
 /**
  * Write BENCH_<artifact>.json in the working directory: per-job

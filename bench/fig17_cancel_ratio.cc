@@ -3,16 +3,14 @@
  * Regenerates Fig. 17: the logical-CNOT cancellation ratio achieved
  * by PH, Tetris, and the max-cancel logical circuit, for both
  * encoders. Expected ordering: PH <= Tetris <= max_cancel, with
- * Tetris close to the max_cancel bound and scaling with size.
+ * Tetris close to the max_cancel bound and scaling with size. The
+ * bound is the "max-cancel" pipeline unrouted with logical peephole
+ * (no hardware constraint); all three run as one engine batch.
  */
 
 #include <cstdio>
 
-#include "baselines/max_cancel.hh"
-#include "baselines/paulihedral.hh"
 #include "bench_util.hh"
-#include "circuit/peephole.hh"
-#include "core/compiler.hh"
 #include "hardware/topologies.hh"
 
 using namespace tetris;
@@ -25,26 +23,45 @@ main()
                 "max_cancel = single-leaf-tree logical circuit + "
                 "peephole (no hardware constraint).");
 
-    CouplingGraph hw = ibmIthaca65();
-    TablePrinter table(
-        {"Encoder", "Bench", "PH", "Tetris", "max_cancel"});
+    auto hw = shareDevice(ibmIthaca65());
+    Engine &engine = benchEngine();
 
+    MaxCancelOptions bound;
+    bound.route = false;
+    bound.logicalPeephole = true;
+
+    const size_t stacks = 3; // ph, tetris, max-cancel bound
+    std::vector<CompileJob> jobs;
     for (const char *enc : {"jw", "bk"}) {
         for (const auto &spec : benchMolecules()) {
             auto blocks = buildMolecule(spec, enc);
-            CompileResult ph = compilePaulihedral(blocks, hw);
-            CompileResult tet = compileTetris(blocks, hw);
-            Circuit max_logical =
-                peepholeOptimize(synthesizeMaxCancelLogical(blocks));
-            double naive =
-                static_cast<double>(naiveCnotCount(blocks));
-            double max_ratio = 1.0 - max_logical.cnotCount() / naive;
-            table.addRow({enc, spec.name,
-                          formatPercent(ph.stats.cancelRatio),
-                          formatPercent(tet.stats.cancelRatio),
-                          formatPercent(max_ratio)});
+            std::string base = std::string(enc) + "/" + spec.name;
+            jobs.push_back(makeJob(base + "/ph", blocks, hw,
+                                   makePaulihedralPipeline()));
+            jobs.push_back(makeJob(base + "/tetris", blocks, hw,
+                                   makeTetrisPipeline()));
+            jobs.push_back(makeJob(base + "/max-cancel",
+                                   std::move(blocks), hw,
+                                   makeMaxCancelPipeline(bound)));
+        }
+    }
+
+    auto records = runJobs(engine, std::move(jobs));
+
+    TablePrinter table(
+        {"Encoder", "Bench", "PH", "Tetris", "max_cancel"});
+    size_t row = 0;
+    for (const char *enc : {"jw", "bk"}) {
+        for (const auto &spec : benchMolecules()) {
+            const auto *r = &records[stacks * row++];
+            table.addRow(
+                {enc, spec.name,
+                 formatPercent(r[0].second->stats.cancelRatio),
+                 formatPercent(r[1].second->stats.cancelRatio),
+                 formatPercent(r[2].second->stats.cancelRatio)});
         }
     }
     table.print();
+    writeBenchJson("fig17", records, engine);
     return 0;
 }

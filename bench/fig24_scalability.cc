@@ -34,49 +34,38 @@ main()
     Engine &engine = benchEngine();
     std::printf("[engine: %d threads]\n", engine.numThreads());
 
+    PaulihedralOptions ph_raw;
+    ph_raw.runPeephole = false;
+    TetrisOptions tet_raw;
+    tet_raw.runPeephole = false;
+
     auto specs = benchMolecules();
     std::vector<CompileJob> jobs;
     for (const auto &spec : specs) {
         auto blocks = buildMolecule(spec, "jw");
         // Per molecule: PH raw, PH+O3, Tetris raw, Tetris+O3.
-        CompileJob ph_raw;
-        ph_raw.name = spec.name + "/ph";
-        ph_raw.blocks = blocks;
-        ph_raw.hw = hw;
-        ph_raw.pipeline = PipelineKind::Paulihedral;
-        ph_raw.paulihedral.runPeephole = false;
-        CompileJob ph_o3 = ph_raw;
-        ph_o3.name = spec.name + "/ph+o3";
-        ph_o3.paulihedral.runPeephole = true;
-        CompileJob tet_raw;
-        tet_raw.name = spec.name + "/tetris";
-        tet_raw.blocks = blocks;
-        tet_raw.hw = hw;
-        tet_raw.tetris.runPeephole = false;
-        CompileJob tet_o3 = tet_raw;
-        tet_o3.name = spec.name + "/tetris+o3";
-        tet_o3.tetris.runPeephole = true;
-        jobs.push_back(std::move(ph_raw));
-        jobs.push_back(std::move(ph_o3));
-        jobs.push_back(std::move(tet_raw));
-        jobs.push_back(std::move(tet_o3));
+        jobs.push_back(makeJob(spec.name + "/ph", blocks, hw,
+                               makePaulihedralPipeline(ph_raw)));
+        jobs.push_back(makeJob(spec.name + "/ph+o3", blocks, hw,
+                               makePaulihedralPipeline()));
+        jobs.push_back(makeJob(spec.name + "/tetris", blocks, hw,
+                               makeTetrisPipeline(tet_raw)));
+        jobs.push_back(makeJob(spec.name + "/tetris+o3",
+                               std::move(blocks), hw,
+                               makeTetrisPipeline()));
     }
 
-    auto results = engine.compileAll(std::move(jobs));
+    auto records = runJobs(engine, std::move(jobs));
 
-    const char *suffixes[] = {"/ph", "/ph+o3", "/tetris", "/tetris+o3"};
     TablePrinter table({"Bench", "PH", "PH+O3", "Tetris",
                         "Tetris+O3"});
-    std::vector<BenchRecord> records;
     for (size_t i = 0; i < specs.size(); ++i) {
-        const auto *r = &results[4 * i];
+        const auto *r = &records[4 * i];
         table.addRow({specs[i].name,
-                      formatDouble(r[0]->stats.compileSeconds),
-                      formatDouble(r[1]->stats.compileSeconds),
-                      formatDouble(r[2]->stats.compileSeconds),
-                      formatDouble(r[3]->stats.compileSeconds)});
-        for (size_t k = 0; k < 4; ++k)
-            records.emplace_back(specs[i].name + suffixes[k], r[k]);
+                      formatDouble(r[0].second->stats.compileSeconds),
+                      formatDouble(r[1].second->stats.compileSeconds),
+                      formatDouble(r[2].second->stats.compileSeconds),
+                      formatDouble(r[3].second->stats.compileSeconds)});
     }
     table.print();
 

@@ -73,17 +73,10 @@ main()
                            const std::string &name,
                            std::vector<PauliBlock> blocks) {
         rows.push_back({group, name});
-        CompileJob ph;
-        ph.name = name + "/ph";
-        ph.blocks = blocks;
-        ph.hw = hw;
-        ph.pipeline = PipelineKind::Paulihedral;
-        jobs.push_back(std::move(ph));
-        CompileJob tet;
-        tet.name = name + "/tetris";
-        tet.blocks = std::move(blocks);
-        tet.hw = hw;
-        jobs.push_back(std::move(tet));
+        jobs.push_back(makeJob(name + "/ph", blocks, hw,
+                               makePaulihedralPipeline()));
+        jobs.push_back(makeJob(name + "/tetris", std::move(blocks), hw,
+                               makeTetrisPipeline()));
     };
 
     for (const char *enc : {"jw", "bk"}) {
@@ -102,18 +95,14 @@ main()
                     buildSyntheticUcc(n, 1000 + n));
     }
 
-    auto results = engine.compileAll(std::move(jobs));
+    auto records = runJobs(engine, std::move(jobs));
 
     TablePrinter table({"Encoder", "Bench", "Tot PH", "Tot Tet", "Tot%",
                         "CNOT PH", "CNOT Tet", "CNOT%", "Dep PH",
                         "Dep Tet", "Dep%", "Dur PH", "Dur Tet", "Dur%"});
-    std::vector<BenchRecord> records;
     for (size_t i = 0; i < rows.size(); ++i) {
-        const auto &ph = results[2 * i];
-        const auto &tet = results[2 * i + 1];
-        addComparisonRow(table, rows[i], ph->stats, tet->stats);
-        records.emplace_back(rows[i].name + "/ph", ph);
-        records.emplace_back(rows[i].name + "/tetris", tet);
+        addComparisonRow(table, rows[i], records[2 * i].second->stats,
+                         records[2 * i + 1].second->stats);
     }
     table.print();
     writeBenchJson("table2", records, engine);

@@ -24,6 +24,7 @@
 #include "chem/uccsd.hh"
 #include "common/table.hh"
 #include "core/compiler.hh"
+#include "core/pipeline_adapters.hh"
 #include "engine/engine.hh"
 #include "hardware/topologies.hh"
 
@@ -53,7 +54,7 @@ main(int argc, char **argv)
         CompileJob job;
         job.blocks = blocks;
         job.hw = hw;
-        job.tetris = opts;
+        job.pipeline = makeTetrisPipeline(opts);
         jobs.push_back(std::move(job));
     };
     for (double w : weights) {

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Quick end-to-end smoke: configure + build, then run one batch bench
-# binary in quick mode and check its JSON trajectory appears.
+# Quick end-to-end smoke: configure + build, then run a slice of the
+# engine-backed bench binaries in quick mode and check that each
+# drops its machine-readable BENCH_*.json trajectory. The slice
+# covers the three workload families (UCCSD molecules via table2,
+# multi-pipeline comparison via fig14, QAOA via fig23).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +13,10 @@ export TETRIS_ENGINE_THREADS="${TETRIS_ENGINE_THREADS:-2}"
 cmake -B build -S .
 cmake --build build -j
 
-(cd build && ./table2_main)
-test -s build/BENCH_table2.json
-echo "smoke OK: build/BENCH_table2.json written"
+for bench in table2_main fig14_compilers fig23_qaoa; do
+  (cd build && "./${bench}")
+done
+for artifact in table2 fig14 fig23; do
+  test -s "build/BENCH_${artifact}.json"
+  echo "smoke OK: build/BENCH_${artifact}.json written"
+done

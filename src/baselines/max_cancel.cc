@@ -128,7 +128,7 @@ namespace
 CompileResult
 routeLogicalPipeline(const std::vector<PauliBlock> &blocks,
                      const CouplingGraph &hw, bool logical_peephole,
-                     RouterKind router)
+                     bool route, RouterKind router)
 {
     auto t0 = std::chrono::steady_clock::now();
 
@@ -136,16 +136,20 @@ routeLogicalPipeline(const std::vector<PauliBlock> &blocks,
     if (logical_peephole)
         logical = peepholeOptimize(logical);
 
-    RouteResult routed = routeCircuit(logical, hw, router);
-    Circuit physical = peepholeOptimize(routed.physical);
+    CompileResult result;
+    SynthStats synth;
+    // Only routing needs the device (routeCircuit checks it fits);
+    // the unrouted bound is hardware-oblivious.
+    if (route) {
+        RouteResult routed = routeCircuit(logical, hw, router);
+        synth.insertedSwaps = routed.insertedSwaps;
+        result.finalLayout = routed.finalLayout;
+        result.circuit = peepholeOptimize(routed.physical);
+    } else {
+        result.circuit = std::move(logical);
+    }
 
     auto t1 = std::chrono::steady_clock::now();
-
-    CompileResult result;
-    result.circuit = std::move(physical);
-    result.finalLayout = routed.finalLayout;
-    SynthStats synth;
-    synth.insertedSwaps = routed.insertedSwaps;
     finalizeStats(result.circuit, naiveCnotCount(blocks),
                   std::chrono::duration<double>(t1 - t0).count(), synth,
                   result.stats);
@@ -156,10 +160,10 @@ routeLogicalPipeline(const std::vector<PauliBlock> &blocks,
 
 CompileResult
 compileMaxCancel(const std::vector<PauliBlock> &blocks,
-                 const CouplingGraph &hw)
+                 const CouplingGraph &hw, const MaxCancelOptions &opts)
 {
-    return routeLogicalPipeline(blocks, hw, /*logical_peephole=*/false,
-                                RouterKind::SabreLite);
+    return routeLogicalPipeline(blocks, hw, opts.logicalPeephole,
+                                opts.route, RouterKind::SabreLite);
 }
 
 CompileResult
@@ -167,7 +171,7 @@ compilePcoastProxy(const std::vector<PauliBlock> &blocks,
                    const CouplingGraph &hw)
 {
     return routeLogicalPipeline(blocks, hw, /*logical_peephole=*/true,
-                                RouterKind::Greedy);
+                                /*route=*/true, RouterKind::Greedy);
 }
 
 } // namespace tetris

@@ -34,9 +34,24 @@ namespace tetris
 Circuit synthesizeMaxCancelLogical(const std::vector<PauliBlock> &blocks,
                                    size_t *logical_cx = nullptr);
 
+/** Knobs of the max-cancel pipeline. */
+struct MaxCancelOptions
+{
+    /**
+     * Route onto the device (SABRE-lite) and peephole the physical
+     * circuit. When false the logical circuit is kept -- the
+     * hardware-oblivious cancellation bound of Fig. 17.
+     */
+    bool route = true;
+    /** Peephole the logical circuit before (or instead of) routing. */
+    bool logicalPeephole = false;
+};
+
 /** max-cancel + router + peephole for a device. */
 CompileResult compileMaxCancel(const std::vector<PauliBlock> &blocks,
-                               const CouplingGraph &hw);
+                               const CouplingGraph &hw,
+                               const MaxCancelOptions &opts
+                               = MaxCancelOptions());
 
 /** PCOAST proxy: logical peephole optimization + greedy routing. */
 CompileResult compilePcoastProxy(const std::vector<PauliBlock> &blocks,

@@ -70,6 +70,34 @@ synthesizeNaiveLogical(const std::vector<PauliBlock> &blocks)
 }
 
 CompileResult
+compileNaive(const std::vector<PauliBlock> &blocks,
+             const CouplingGraph &hw, const NaiveOptions &opts)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    Circuit circ = synthesizeNaiveLogical(blocks);
+
+    CompileResult result;
+    SynthStats synth;
+    // Only routing needs the device (routeCircuit checks it fits);
+    // the unrouted bound is hardware-oblivious.
+    if (opts.route) {
+        RouteResult routed = routeCircuit(circ, hw, RouterKind::SabreLite);
+        synth.insertedSwaps = routed.insertedSwaps;
+        result.finalLayout = routed.finalLayout;
+        result.circuit = std::move(routed.physical);
+    } else {
+        result.circuit = std::move(circ);
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+    finalizeStats(result.circuit, naiveCnotCount(blocks),
+                  std::chrono::duration<double>(t1 - t0).count(), synth,
+                  result.stats);
+    return result;
+}
+
+CompileResult
 compileTketProxy(const std::vector<PauliBlock> &blocks,
                  const CouplingGraph &hw, TketFlavor flavor)
 {

@@ -30,6 +30,27 @@ void emitChainString(Circuit &circ, const PauliString &s, double angle);
 /** The naive logical circuit: every string as an independent chain. */
 Circuit synthesizeNaiveLogical(const std::vector<PauliBlock> &blocks);
 
+/** Knobs of the naive pipeline. */
+struct NaiveOptions
+{
+    /**
+     * Map the chain circuit onto the device (SABRE-lite). When false
+     * the logical circuit is returned untouched -- no SWAPs, no
+     * peephole -- which is exactly the paper's "original circuit"
+     * accounting (Table I): cnotCount == naiveCnotCount(blocks).
+     */
+    bool route = true;
+};
+
+/**
+ * The naive pipeline: per-string chain synthesis with no gate
+ * cancellation anywhere, optionally routed. The lower bound every
+ * cancellation ratio is measured against.
+ */
+CompileResult compileNaive(const std::vector<PauliBlock> &blocks,
+                           const CouplingGraph &hw,
+                           const NaiveOptions &opts = NaiveOptions());
+
 /** Routing flavors of the T|Ket> proxy (Fig. 15a). */
 enum class TketFlavor
 {

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Configured-instance constructors for the built-in pipelines.
+ *
+ * Separated from core/pipeline.hh so the engine layer (which only
+ * needs the Pipeline interface and registry) does not transitively
+ * depend on every compiler stack. Include this header where
+ * pipelines are configured: the bench harness, the CLI, and tests.
+ * The registry ids are noted on each helper;
+ * PipelineRegistry::create(id) is equivalent to the
+ * default-argument call.
+ */
+
+#ifndef TETRIS_CORE_PIPELINE_ADAPTERS_HH
+#define TETRIS_CORE_PIPELINE_ADAPTERS_HH
+
+#include "baselines/max_cancel.hh"
+#include "baselines/naive.hh"
+#include "baselines/paulihedral.hh"
+#include "baselines/qaoa_2qan.hh"
+#include "core/compiler.hh"
+#include "core/pipeline.hh"
+#include "core/qaoa_pass.hh"
+
+namespace tetris
+{
+
+/** "tetris": the paper's full pipeline (Sec. V). */
+PipelinePtr makeTetrisPipeline(TetrisOptions opts = TetrisOptions());
+
+/** "paulihedral": the Paulihedral baseline (ASPLOS'22). */
+PipelinePtr makePaulihedralPipeline(PaulihedralOptions opts
+                                    = PaulihedralOptions());
+
+/** "tket-o2" / "tket-o3": the two T|Ket> proxy flavors (Fig. 15a). */
+PipelinePtr makeTketPipeline(TketFlavor flavor = TketFlavor::O2);
+
+/** "pcoast": logical peephole + greedy routing proxy (Fig. 15b). */
+PipelinePtr makePcoastPipeline();
+
+/** "naive": per-string chain synthesis (Table I's original circuit). */
+PipelinePtr makeNaivePipeline(NaiveOptions opts = NaiveOptions());
+
+/** "max-cancel": the structural-cancellation upper bound (Fig. 2). */
+PipelinePtr makeMaxCancelPipeline(MaxCancelOptions opts
+                                  = MaxCancelOptions());
+
+/** "qaoa-2qan": the 2QAN proxy for 2-local workloads (ISCA'22). */
+PipelinePtr makeQaoa2qanPipeline();
+
+/** "qaoa-bridge": Tetris's QAOA bridging + qubit-reuse pass. */
+PipelinePtr makeQaoaBridgePipeline(QaoaPassOptions opts
+                                   = QaoaPassOptions());
+
+/** FNV-1a content hash over the QAOA-pass knobs. */
+uint64_t optionsContentHash(const QaoaPassOptions &opts);
+
+} // namespace tetris
+
+#endif // TETRIS_CORE_PIPELINE_ADAPTERS_HH

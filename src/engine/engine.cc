@@ -20,28 +20,42 @@ uint64_t
 Engine::jobKey(const CompileJob &job)
 {
     TETRIS_ASSERT(job.hw != nullptr, "job without a device");
-    uint64_t h = fnvMix(kFnvOffset, static_cast<int>(job.pipeline));
+    TETRIS_ASSERT(job.pipeline != nullptr, "job without a pipeline");
+    // The id/options pair is mixed in first so two pipelines over
+    // identical blocks can never alias in the cache, even if their
+    // option hashes happen to collide.
+    uint64_t h = fnvMixString(kFnvOffset, job.pipeline->name());
+    h = fnvMix(h, job.pipeline->optionsHash());
     h = fnvMix(h, job.hw->contentHash());
     h = fnvMix(h, job.blocks.size());
     for (const auto &b : job.blocks)
         h = fnvMix(h, b.contentHash());
-    if (job.pipeline == PipelineKind::Tetris)
-        h = fnvMix(h, optionsContentHash(job.tetris));
-    else
-        h = fnvMix(h, job.paulihedral.runPeephole);
     return h;
+}
+
+void
+Engine::reportDone(const std::string &name)
+{
+    if (!opts_.onJobDone)
+        return;
+    // One lock for counters and callback: (done, total) pairs stay
+    // consistent and concurrent invocations never interleave.
+    std::lock_guard<std::mutex> lock(progressMutex_);
+    ++finished_;
+    opts_.onJobDone(finished_, submitted_, name);
 }
 
 void
 Engine::runJob(const CompileJob &job,
                const std::shared_ptr<CompileCache::Entry> &entry)
 {
-    CompileResult result =
-        job.pipeline == PipelineKind::Tetris
-            ? compileTetris(job.blocks, *job.hw, job.tetris)
-            : compilePaulihedral(job.blocks, *job.hw, job.paulihedral);
+    CompileResult result = job.pipeline->run(job.blocks, *job.hw);
     metrics_.recordCompile(result.stats);
     metrics_.addCount("jobs.completed");
+    // Report before publishing: once the entry publishes, waiters
+    // (compileAll callers) may proceed, and every callback for their
+    // jobs must already have returned.
+    reportDone(job.name);
     entry->publish(
         std::make_shared<const CompileResult>(std::move(result)));
 }
@@ -50,7 +64,12 @@ Engine::JobId
 Engine::submit(CompileJob job)
 {
     TETRIS_ASSERT(job.hw != nullptr, "job without a device");
+    TETRIS_ASSERT(job.pipeline != nullptr, "job without a pipeline");
     metrics_.addCount("jobs.submitted");
+    {
+        std::lock_guard<std::mutex> lock(progressMutex_);
+        ++submitted_;
+    }
 
     std::shared_ptr<CompileCache::Entry> entry;
     bool is_new = true;
@@ -68,6 +87,9 @@ Engine::submit(CompileJob job)
             [this, job = std::move(job), entry] { runJob(job, entry); });
     } else {
         metrics_.addCount("jobs.deduplicated");
+        // No work left for this submission: the shared entry is (or
+        // will be) published by its owner.
+        reportDone(job.name);
     }
 
     std::lock_guard<std::mutex> lock(jobsMutex_);

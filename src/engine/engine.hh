@@ -2,14 +2,19 @@
  * @file
  * Batch compilation engine.
  *
- * Accepts many CompileJobs (block list + device + options), executes
+ * Accepts many CompileJobs (block list + device + pipeline), executes
  * them concurrently on a worker thread pool, deduplicates identical
  * jobs through a content-addressed CompileCache, and aggregates
  * per-stage timing into a MetricsRegistry. Results are deterministic:
  * each job's CompileResult is bit-identical to what a serial
- * compileTetris()/compilePaulihedral() call would produce, and
- * compileAll() returns results in submission order regardless of
- * worker interleaving.
+ * Pipeline::run() call would produce, and compileAll() returns
+ * results in submission order regardless of worker interleaving.
+ *
+ * Which compiler a job runs is data, not code: every registered
+ * pipeline (see core/pipeline.hh) dispatches through the same
+ * interface, and the cache key mixes in the pipeline id and its
+ * options hash so different compilers over identical blocks never
+ * alias.
  *
  * Thread count defaults to TETRIS_ENGINE_THREADS, falling back to
  * hardware concurrency (see ThreadPool::resolveThreadCount).
@@ -18,12 +23,13 @@
 #ifndef TETRIS_ENGINE_ENGINE_HH
 #define TETRIS_ENGINE_ENGINE_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "baselines/paulihedral.hh"
 #include "core/compiler.hh"
+#include "core/pipeline.hh"
 #include "engine/compile_cache.hh"
 #include "engine/metrics.hh"
 #include "engine/thread_pool.hh"
@@ -33,14 +39,7 @@
 namespace tetris
 {
 
-/** Which compiler pipeline a job runs. */
-enum class PipelineKind
-{
-    Tetris,
-    Paulihedral,
-};
-
-/** One unit of batch work: a workload, a device, and options. */
+/** One unit of batch work: a workload, a device, and a pipeline. */
 struct CompileJob
 {
     /** Display name for progress reporting and JSON artifacts. */
@@ -48,10 +47,11 @@ struct CompileJob
     std::vector<PauliBlock> blocks;
     /** Shared so many jobs can target one device cheaply. */
     std::shared_ptr<const CouplingGraph> hw;
-    PipelineKind pipeline = PipelineKind::Tetris;
-    TetrisOptions tetris;
-    /** Only read when pipeline == Paulihedral. */
-    PaulihedralOptions paulihedral;
+    /**
+     * The compiler stack to run: any registered pipeline, via
+     * PipelineRegistry::create(id) or a make*Pipeline() helper.
+     */
+    PipelinePtr pipeline = defaultPipeline();
 };
 
 struct EngineOptions
@@ -60,6 +60,18 @@ struct EngineOptions
     int numThreads = 0;
     /** Deduplicate identical jobs through the compile cache. */
     bool enableCache = true;
+    /**
+     * Progress hook: called once per submission when its work is
+     * finished -- after the compilation for fresh jobs, immediately
+     * for cache-deduplicated ones. `done` counts finished
+     * submissions, `total` submissions so far. Invocations are
+     * serialized (safe to print from) but run on worker threads and
+     * must not call back into the engine. A job's callback always
+     * returns before wait() on that job does.
+     */
+    std::function<void(size_t done, size_t total,
+                       const std::string &name)>
+        onJobDone;
 };
 
 class Engine
@@ -95,14 +107,15 @@ class Engine
 
     /**
      * Content hash of everything that determines a job's output:
-     * blocks, coupling graph, pipeline kind, and options. The
-     * compile-cache key.
+     * the pipeline id, its options hash, the coupling graph, and the
+     * blocks. The compile-cache key.
      */
     static uint64_t jobKey(const CompileJob &job);
 
   private:
     void runJob(const CompileJob &job,
                 const std::shared_ptr<CompileCache::Entry> &entry);
+    void reportDone(const std::string &name);
 
     EngineOptions opts_;
     MetricsRegistry metrics_;
@@ -111,6 +124,11 @@ class Engine
 
     std::mutex jobsMutex_;
     std::vector<std::shared_ptr<CompileCache::Entry>> jobs_;
+
+    /** Guards the progress counters and serializes onJobDone. */
+    std::mutex progressMutex_;
+    size_t submitted_ = 0;
+    size_t finished_ = 0;
 };
 
 } // namespace tetris

@@ -1,21 +1,32 @@
 /**
  * @file
- * Batch-engine tests: parallel-vs-serial determinism, compile-cache
- * hit/miss accounting and in-flight dedup, thread-pool stress, the
- * single-thread fallback, the TETRIS_ENGINE_THREADS knob, and JSON
+ * Batch-engine tests: parallel-vs-serial determinism, registry
+ * dispatch against the direct entry points, compile-cache hit/miss
+ * accounting, in-flight dedup and cross-pipeline key separation,
+ * progress reporting, thread-pool stress, the single-thread
+ * fallback, the hardened TETRIS_ENGINE_THREADS knob, and JSON
  * serialization of stats and metrics.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <tuple>
 
+#include "baselines/max_cancel.hh"
+#include "baselines/naive.hh"
+#include "baselines/paulihedral.hh"
+#include "baselines/qaoa_2qan.hh"
 #include "chem/uccsd.hh"
 #include "common/json.hh"
+#include "core/pipeline_adapters.hh"
+#include "core/qaoa_pass.hh"
 #include "engine/engine.hh"
 #include "engine/thread_pool.hh"
 #include "hardware/topologies.hh"
+#include "qaoa/qaoa.hh"
 
 namespace tetris
 {
@@ -29,6 +40,9 @@ mixedJobs()
     auto hex = std::make_shared<const CouplingGraph>(heavyHexTopology(2, 5));
     auto grid = std::make_shared<const CouplingGraph>(gridTopology(4, 4));
 
+    TetrisOptions lex_opts;
+    lex_opts.scheduler = SchedulerKind::Lexicographic;
+
     std::vector<CompileJob> jobs;
     for (int n : {6, 8, 10}) {
         CompileJob job;
@@ -39,12 +53,12 @@ mixedJobs()
 
         CompileJob lex = job;
         lex.name += "/lex";
-        lex.tetris.scheduler = SchedulerKind::Lexicographic;
+        lex.pipeline = makeTetrisPipeline(lex_opts);
         jobs.push_back(std::move(lex));
 
         CompileJob ph = job;
         ph.name += "/ph";
-        ph.pipeline = PipelineKind::Paulihedral;
+        ph.pipeline = PipelineRegistry::instance().create("paulihedral");
         jobs.push_back(std::move(ph));
     }
     return jobs;
@@ -93,10 +107,37 @@ TEST(ThreadPool, ResolveThreadCount)
     EXPECT_EQ(ThreadPool::resolveThreadCount(3), 3);
     ::setenv("TETRIS_ENGINE_THREADS", "5", 1);
     EXPECT_EQ(ThreadPool::resolveThreadCount(0), 5);
-    ::setenv("TETRIS_ENGINE_THREADS", "garbage", 1);
-    EXPECT_GE(ThreadPool::resolveThreadCount(0), 1);
     ::unsetenv("TETRIS_ENGINE_THREADS");
     EXPECT_GE(ThreadPool::resolveThreadCount(0), 1);
+}
+
+TEST(ThreadPool, ResolveThreadCountRejectsGarbage)
+{
+    ::unsetenv("TETRIS_ENGINE_THREADS");
+    const int fallback = ThreadPool::resolveThreadCount(0);
+    EXPECT_GE(fallback, 1);
+
+    // Garbage, trailing junk, negatives, zero, and overflow must all
+    // fall back to hardware concurrency -- never whatever atoi()
+    // would have produced (e.g. 8 for "8abc", huge for overflow).
+    for (const char *bad :
+         {"garbage", "8abc", "-3", "0", "-0", "2.5", "",
+          "99999999999999999999", "4097", "0x10"}) {
+        ::setenv("TETRIS_ENGINE_THREADS", bad, 1);
+        EXPECT_EQ(ThreadPool::resolveThreadCount(0), fallback)
+            << "env='" << bad << "'";
+    }
+
+    // Surrounding whitespace is tolerated; the bound is inclusive.
+    ::setenv("TETRIS_ENGINE_THREADS", " 12 ", 1);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(0), 12);
+    ::setenv("TETRIS_ENGINE_THREADS", "4096", 1);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(0), 4096);
+
+    // An explicit request always wins over the environment.
+    ::setenv("TETRIS_ENGINE_THREADS", "garbage", 1);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(2), 2);
+    ::unsetenv("TETRIS_ENGINE_THREADS");
 }
 
 TEST(Engine, ParallelMatchesSerial)
@@ -104,15 +145,12 @@ TEST(Engine, ParallelMatchesSerial)
     auto jobs = mixedJobs();
     ASSERT_GE(jobs.size(), 8u);
 
-    // Serial reference: direct pipeline calls, no engine.
+    // Serial reference: direct pipeline runs, no engine. (That
+    // Pipeline::run matches the raw entry points is covered by
+    // PipelineDispatch.MatchesDirectEntryPoints.)
     std::vector<CompileResult> serial;
-    for (const auto &job : jobs) {
-        serial.push_back(job.pipeline == PipelineKind::Tetris
-                             ? compileTetris(job.blocks, *job.hw,
-                                             job.tetris)
-                             : compilePaulihedral(job.blocks, *job.hw,
-                                                  job.paulihedral));
-    }
+    for (const auto &job : jobs)
+        serial.push_back(job.pipeline->run(job.blocks, *job.hw));
 
     EngineOptions opts;
     opts.numThreads = 4;
@@ -144,7 +182,9 @@ TEST(Engine, CacheHitsOnRepeatedJob)
     auto id0 = engine.submit(job);
     auto id1 = engine.submit(job); // identical -> served from cache
     CompileJob other = job;
-    other.tetris.lookaheadK = 3; // different options -> distinct key
+    TetrisOptions k3;
+    k3.lookaheadK = 3; // different options -> distinct key
+    other.pipeline = makeTetrisPipeline(k3);
     auto id2 = engine.submit(other);
 
     auto r0 = engine.wait(id0);
@@ -173,11 +213,13 @@ TEST(Engine, CacheKeySensitivity)
     EXPECT_EQ(k0, Engine::jobKey(base)); // stable
 
     CompileJob tweaked = base;
-    tweaked.tetris.synthesis.swapWeight = 5.0;
+    TetrisOptions heavy;
+    heavy.synthesis.swapWeight = 5.0;
+    tweaked.pipeline = makeTetrisPipeline(heavy);
     EXPECT_NE(Engine::jobKey(tweaked), k0);
 
     CompileJob ph = base;
-    ph.pipeline = PipelineKind::Paulihedral;
+    ph.pipeline = PipelineRegistry::instance().create("paulihedral");
     EXPECT_NE(Engine::jobKey(ph), k0);
 
     CompileJob fewer = base;
@@ -192,6 +234,197 @@ TEST(Engine, CacheKeySensitivity)
     CompileJob renamed = base;
     renamed.name = "something-else";
     EXPECT_EQ(Engine::jobKey(renamed), k0);
+}
+
+TEST(PipelineRegistry, AllBuiltinsRegistered)
+{
+    auto &reg = PipelineRegistry::instance();
+    for (const char *id :
+         {"tetris", "paulihedral", "tket-o2", "tket-o3", "pcoast",
+          "naive", "max-cancel", "qaoa-2qan", "qaoa-bridge"}) {
+        EXPECT_TRUE(reg.contains(id)) << id;
+        PipelinePtr p = reg.create(id);
+        ASSERT_NE(p, nullptr) << id;
+        EXPECT_EQ(p->name(), id);
+        // Default-configured instances hash identically.
+        EXPECT_EQ(p->optionsHash(), reg.create(id)->optionsHash());
+    }
+    EXPECT_FALSE(reg.contains("no-such-pipeline"));
+    EXPECT_GE(reg.ids().size(), 9u);
+}
+
+/** A downstream-registered pipeline: engine needs no changes. */
+class EchoNaivePipeline final : public Pipeline
+{
+  public:
+    const std::string &name() const override
+    {
+        static const std::string id = "test-echo-naive";
+        return id;
+    }
+
+    CompileResult
+    run(const std::vector<PauliBlock> &blocks,
+        const CouplingGraph &hw) const override
+    {
+        return compileNaive(blocks, hw);
+    }
+
+    uint64_t optionsHash() const override { return 1234567; }
+};
+
+TEST(PipelineRegistry, CustomPipelinePlugsIn)
+{
+    auto &reg = PipelineRegistry::instance();
+    if (!reg.contains("test-echo-naive")) {
+        reg.add("test-echo-naive",
+                [] { return std::make_shared<EchoNaivePipeline>(); });
+    }
+
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+    CompileJob job;
+    job.name = "custom";
+    job.blocks = buildSyntheticUcc(6, 5);
+    job.hw = hw;
+    job.pipeline = reg.create("test-echo-naive");
+
+    Engine engine(EngineOptions{.numThreads = 2});
+    auto result = engine.wait(engine.submit(job));
+    ASSERT_NE(result, nullptr);
+    CompileResult ref = compileNaive(job.blocks, *hw);
+    EXPECT_EQ(result->stats.cnotCount, ref.stats.cnotCount);
+    EXPECT_EQ(result->stats.depth, ref.stats.depth);
+}
+
+TEST(PipelineDispatch, MatchesDirectEntryPoints)
+{
+    CouplingGraph hw = heavyHexTopology(2, 5);
+    auto blocks = buildSyntheticUcc(8, 21);
+    auto &reg = PipelineRegistry::instance();
+
+    expectSameResult(reg.create("tetris")->run(blocks, hw),
+                     compileTetris(blocks, hw));
+    expectSameResult(reg.create("paulihedral")->run(blocks, hw),
+                     compilePaulihedral(blocks, hw));
+    expectSameResult(reg.create("tket-o2")->run(blocks, hw),
+                     compileTketProxy(blocks, hw, TketFlavor::O2));
+    expectSameResult(
+        reg.create("tket-o3")->run(blocks, hw),
+        compileTketProxy(blocks, hw, TketFlavor::QiskitO3));
+    expectSameResult(reg.create("pcoast")->run(blocks, hw),
+                     compilePcoastProxy(blocks, hw));
+    expectSameResult(reg.create("naive")->run(blocks, hw),
+                     compileNaive(blocks, hw));
+    expectSameResult(reg.create("max-cancel")->run(blocks, hw),
+                     compileMaxCancel(blocks, hw));
+
+    // The QAOA pipelines want 1-/2-local Z blocks.
+    Graph g = Graph::randomWithEdges(10, 16, 3);
+    auto qaoa_blocks = buildQaoaCostBlocks(g, 0.35);
+    expectSameResult(reg.create("qaoa-2qan")->run(qaoa_blocks, hw),
+                     compile2qanProxy(qaoa_blocks, hw));
+    expectSameResult(reg.create("qaoa-bridge")->run(qaoa_blocks, hw),
+                     compileQaoaTetris(qaoa_blocks, hw));
+}
+
+TEST(PipelineDispatch, UnroutedNaiveReproducesTableOneCounts)
+{
+    CouplingGraph hw = lineTopology(12);
+    auto blocks = buildSyntheticUcc(10, 77);
+
+    NaiveOptions logical_only;
+    logical_only.route = false;
+    CompileResult res =
+        makeNaivePipeline(logical_only)->run(blocks, hw);
+    EXPECT_EQ(res.stats.cnotCount, naiveCnotCount(blocks));
+    EXPECT_EQ(res.stats.swapCount, 0u);
+    EXPECT_EQ(res.stats.originalCnots, naiveCnotCount(blocks));
+}
+
+TEST(Engine, CacheSeparatesPipelinesOverIdenticalInputs)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(10));
+    CompileJob tet;
+    tet.name = "shared/tetris";
+    tet.blocks = buildSyntheticUcc(8, 13);
+    tet.hw = hw;
+    CompileJob ph = tet;
+    ph.name = "shared/ph";
+    ph.pipeline = PipelineRegistry::instance().create("paulihedral");
+
+    ASSERT_NE(Engine::jobKey(tet), Engine::jobKey(ph));
+
+    Engine engine(EngineOptions{.numThreads = 2});
+    auto r_tet = engine.wait(engine.submit(tet));
+    auto r_ph = engine.wait(engine.submit(ph));
+
+    // Two pipelines over identical blocks+device: two cache entries,
+    // two compilations, no aliasing.
+    EXPECT_EQ(engine.cache().misses(), 2u);
+    EXPECT_EQ(engine.cache().hits(), 0u);
+    EXPECT_EQ(engine.cache().size(), 2u);
+    EXPECT_EQ(engine.metrics().count("jobs.completed"), 2u);
+    ASSERT_NE(r_tet, nullptr);
+    ASSERT_NE(r_ph, nullptr);
+    EXPECT_NE(r_tet, r_ph);
+    // ...and the documented distinct results: Tetris's structural
+    // cancellation beats PH's per-string synthesis on UCC blocks.
+    EXPECT_NE(r_tet->stats.cnotCount, r_ph->stats.cnotCount);
+}
+
+TEST(Engine, NameSeparatesKeysWhenOptionHashesCollide)
+{
+    // pcoast and qaoa-2qan are both parameterless: identical options
+    // hashes. The pipeline id keeps their cache keys apart.
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+    CompileJob a;
+    a.blocks = buildSyntheticUcc(6, 2);
+    a.hw = hw;
+    a.pipeline = PipelineRegistry::instance().create("pcoast");
+    CompileJob b = a;
+    b.pipeline = PipelineRegistry::instance().create("qaoa-2qan");
+
+    EXPECT_EQ(a.pipeline->optionsHash(), b.pipeline->optionsHash());
+    EXPECT_NE(Engine::jobKey(a), Engine::jobKey(b));
+}
+
+TEST(Engine, ProgressCallbackCountsEverySubmission)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+
+    // Serialized by the engine, so no extra locking needed here.
+    std::vector<std::tuple<size_t, size_t, std::string>> events;
+    EngineOptions opts;
+    opts.numThreads = 2;
+    opts.onJobDone = [&events](size_t done, size_t total,
+                               const std::string &name) {
+        events.emplace_back(done, total, name);
+    };
+    Engine engine(opts);
+
+    std::vector<CompileJob> jobs;
+    for (int n : {5, 6, 7}) {
+        CompileJob job;
+        job.name = "p" + std::to_string(n);
+        job.blocks = buildSyntheticUcc(n, n);
+        job.hw = hw;
+        jobs.push_back(std::move(job));
+    }
+    jobs.push_back(jobs.front()); // duplicate -> dedup, still reported
+
+    auto results = engine.compileAll(jobs);
+    ASSERT_EQ(results.size(), 4u);
+
+    ASSERT_EQ(events.size(), 4u);
+    size_t max_done = 0;
+    for (const auto &[done, total, name] : events) {
+        EXPECT_LE(done, total);
+        max_done = std::max(max_done, done);
+        EXPECT_FALSE(name.empty());
+    }
+    // Every submission reported exactly once, dedup included.
+    EXPECT_EQ(max_done, 4u);
+    EXPECT_EQ(std::get<1>(events.back()), 4u);
 }
 
 TEST(Engine, StressJobsExceedThreads)
