@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "common/json.hh"
+#include "engine/disk_cache.hh"
 
 namespace tetris::bench
 {
@@ -59,6 +60,9 @@ EngineOptions
 benchEngineOptions()
 {
     EngineOptions opts;
+    // Persistent artifact store: active only when TETRIS_CACHE_DIR
+    // is set, so repeated sweeps skip recompilation entirely.
+    opts.diskCache = DiskCache::openFromEnv();
     if (progressEnabled()) {
         opts.onJobDone = [](size_t done, size_t total,
                             const std::string &name) {
@@ -129,6 +133,7 @@ writeBenchJson(const std::string &artifact,
         w.beginObject();
         w.key("name").value(name);
         if (result) {
+            w.key("cancelled").value(result->cancelled);
             w.key("stats");
             writeJson(w, result->stats);
         } else {
@@ -144,6 +149,16 @@ writeBenchJson(const std::string &artifact,
         static_cast<uint64_t>(engine.cache().hits()));
     w.key("misses").value(
         static_cast<uint64_t>(engine.cache().misses()));
+    w.key("disk").beginObject();
+    const DiskCache *disk = engine.diskCache();
+    w.key("enabled").value(disk != nullptr);
+    if (disk != nullptr) {
+        w.key("dir").value(disk->dir());
+        w.key("hits").value(static_cast<uint64_t>(disk->hits()));
+        w.key("misses").value(static_cast<uint64_t>(disk->misses()));
+        w.key("writes").value(static_cast<uint64_t>(disk->writes()));
+    }
+    w.endObject();
     w.endObject();
     w.endObject();
 

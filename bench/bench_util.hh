@@ -13,6 +13,12 @@
  * parallelizes across TETRIS_ENGINE_THREADS workers, and drop a
  * machine-readable BENCH_<artifact>.json trajectory via
  * writeBenchJson().
+ *
+ * When TETRIS_CACHE_DIR is set the engine also opens the persistent
+ * compile-artifact store (engine/disk_cache.hh), so a repeated run
+ * of the same binary deserializes its results instead of
+ * recompiling; the trajectory's "cache.disk" object reports that
+ * traffic.
  */
 
 #ifndef TETRIS_BENCH_BENCH_UTIL_HH

@@ -28,6 +28,7 @@
 #include "chem/uccsd.hh"
 #include "circuit/qasm.hh"
 #include "core/pipeline_adapters.hh"
+#include "engine/disk_cache.hh"
 #include "engine/engine.hh"
 #include "hardware/topologies.hh"
 #include "qaoa/qaoa.hh"
@@ -159,7 +160,10 @@ main(int argc, char **argv)
     job.hw = hw;
     job.pipeline = resolvePipeline(compiler, is_qaoa, opts);
 
-    Engine engine;
+    EngineOptions eopts;
+    // Set TETRIS_CACHE_DIR to reuse compilations across invocations.
+    eopts.diskCache = DiskCache::openFromEnv();
+    Engine engine(eopts);
     std::vector<CompileJob> jobs;
     jobs.push_back(std::move(job)); // a braced list would deep-copy
     auto results = engine.compileAll(std::move(jobs));
@@ -178,6 +182,10 @@ main(int argc, char **argv)
     std::printf("cancel     : %.1f%%\n",
                 100.0 * result.stats.cancelRatio);
     std::printf("compile    : %.3f s\n", result.stats.compileSeconds);
+    if (const DiskCache *disk = engine.diskCache()) {
+        std::printf("disk cache : %s (%zu hit, %zu miss)\n",
+                    disk->dir().c_str(), disk->hits(), disk->misses());
+    }
 
     if (!qasm_path.empty()) {
         if (!writeQasm(result.circuit, qasm_path))

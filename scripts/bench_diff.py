@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json trajectory artifacts and flag regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CANDIDATE.json [--tolerance PCT]
+
+Matches jobs by name and compares the paper's headline metrics
+(CNOT count, total gate count, depth, SWAP count) per job. A metric
+regresses when the candidate exceeds the baseline by more than
+--tolerance percent (default 0: any increase counts). Jobs present
+in only one artifact are reported but are not regressions.
+
+Exit status: 0 = no regressions, 1 = at least one regression,
+2 = bad invocation or unreadable/malformed artifact.
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics where *more* is *worse*, in report order.
+METRICS = ("cnotCount", "totalGateCount", "depth", "swapCount")
+
+
+def load_jobs(path):
+    """Return {job key: stats dict} from one trajectory artifact.
+
+    Display names may repeat within a sweep (e.g. table2 runs each
+    molecule once per encoder under one name), so repeats are keyed
+    by submission-order occurrence: "LiH/ph", "LiH/ph#2", ... Both
+    artifacts of one bench binary number identically.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_diff: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    jobs = {}
+    seen = {}
+    for job in doc.get("jobs", []):
+        name, stats = job.get("name"), job.get("stats")
+        if name is None or stats is None:  # failed job
+            continue
+        if job.get("cancelled"):  # zeroed stats, not a measurement
+            continue
+        seen[name] = seen.get(name, 0) + 1
+        key = name if seen[name] == 1 else f"{name}#{seen[name]}"
+        jobs[key] = stats
+    if not jobs:
+        print(f"bench_diff: no comparable jobs in {path}",
+              file=sys.stderr)
+        sys.exit(2)
+    return jobs
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json artifacts for regressions."
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="allowed increase in percent before a metric counts as "
+        "a regression (default: 0, any increase)",
+    )
+    args = parser.parse_args()
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    base = load_jobs(args.baseline)
+    cand = load_jobs(args.candidate)
+
+    regressions = []
+    improvements = 0
+    for name in sorted(base.keys() & cand.keys()):
+        for metric in METRICS:
+            old = base[name].get(metric)
+            new = cand[name].get(metric)
+            if old is None or new is None:
+                continue
+            if new > old * (1.0 + args.tolerance / 100.0):
+                pct = 100.0 * (new - old) / old if old else float("inf")
+                regressions.append((name, metric, old, new, pct))
+            elif new < old:
+                improvements += 1
+
+    only_base = sorted(base.keys() - cand.keys())
+    only_cand = sorted(cand.keys() - base.keys())
+    for name in only_base:
+        print(f"note: job '{name}' only in {args.baseline}")
+    for name in only_cand:
+        print(f"note: job '{name}' only in {args.candidate}")
+
+    common = len(base.keys() & cand.keys())
+    if regressions:
+        print(
+            f"REGRESSIONS ({len(regressions)} metric(s) across "
+            f"{len({r[0] for r in regressions})} job(s), "
+            f"tolerance {args.tolerance:g}%):"
+        )
+        for name, metric, old, new, pct in regressions:
+            print(f"  {name}: {metric} {old} -> {new} (+{pct:.1f}%)")
+        print(
+            f"compared {common} common job(s); "
+            f"{improvements} metric(s) improved"
+        )
+        return 1
+
+    print(
+        f"OK: no regressions across {common} common job(s) "
+        f"({improvements} metric(s) improved, "
+        f"tolerance {args.tolerance:g}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

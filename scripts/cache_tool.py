@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Operate on a Tetris persistent compile-artifact store.
+
+Usage:
+    cache_tool.py stats [--dir DIR]
+    cache_tool.py trim  [--dir DIR] [--max-bytes N]
+    cache_tool.py clear [--dir DIR]
+
+The store layout is <dir>/<key[0:2]>/<key>.tca (see
+src/engine/disk_cache.hh). --dir defaults to $TETRIS_CACHE_DIR;
+trim's --max-bytes defaults to $TETRIS_CACHE_MAX_BYTES. trim evicts
+oldest-mtime entries first (the C++ side refreshes mtime on every
+cache hit, so this is LRU), matching DiskCache::trim exactly.
+
+Exit status: 0 on success, 2 on bad invocation or missing store.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+MAGIC = b"TCA1"
+
+
+def artifact_files(root):
+    """Yield (path, size, mtime) for every .tca entry in the store."""
+    for shard in sorted(os.listdir(root)):
+        shard_path = os.path.join(root, shard)
+        if not os.path.isdir(shard_path):
+            continue
+        for name in sorted(os.listdir(shard_path)):
+            if not name.endswith(".tca"):
+                continue
+            path = os.path.join(shard_path, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue  # concurrently evicted
+            yield path, st.st_size, st.st_mtime
+
+
+def human(n):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024.0
+
+
+def cmd_stats(root):
+    entries = list(artifact_files(root))
+    total = sum(size for _, size, _ in entries)
+    valid = 0
+    for path, _, _ in entries:
+        try:
+            with open(path, "rb") as f:
+                valid += f.read(4) == MAGIC
+        except OSError:
+            pass
+    print(f"store      : {root}")
+    print(f"entries    : {len(entries)} ({valid} with valid magic)")
+    print(f"bytes      : {total} ({human(total)})")
+    if entries:
+        now = time.time()
+        ages = [now - mtime for _, _, mtime in entries]
+        print(f"oldest     : {max(ages) / 3600.0:.1f} h since last use")
+        print(f"newest     : {min(ages) / 3600.0:.1f} h since last use")
+    return 0
+
+
+def cmd_trim(root, max_bytes):
+    if max_bytes is None:
+        print(
+            "cache_tool: trim needs --max-bytes or "
+            "TETRIS_CACHE_MAX_BYTES",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    entries = sorted(artifact_files(root), key=lambda e: e[2])  # mtime
+    total = sum(size for _, size, _ in entries)
+    removed = freed = 0
+    for path, size, _ in entries:
+        if total <= max_bytes:
+            break
+        try:
+            os.remove(path)
+        except OSError as exc:
+            print(f"warn: cannot remove {path}: {exc}", file=sys.stderr)
+            continue
+        total -= size
+        freed += size
+        removed += 1
+    print(
+        f"trimmed {removed} entr{'y' if removed == 1 else 'ies'} "
+        f"({human(freed)}), {total} bytes retained "
+        f"(budget {max_bytes})"
+    )
+    return 0
+
+
+def cmd_clear(root):
+    removed = 0
+    for path, _, _ in artifact_files(root):
+        try:
+            os.remove(path)
+            removed += 1
+        except OSError as exc:
+            print(f"warn: cannot remove {path}: {exc}", file=sys.stderr)
+    # Drop empty shard directories; leave the root itself.
+    for shard in os.listdir(root):
+        shard_path = os.path.join(root, shard)
+        if os.path.isdir(shard_path) and not os.listdir(shard_path):
+            os.rmdir(shard_path)
+    print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Inspect, trim, or clear a Tetris artifact store."
+    )
+    parser.add_argument("mode", choices=("stats", "trim", "clear"))
+    parser.add_argument(
+        "--dir",
+        default=os.environ.get("TETRIS_CACHE_DIR"),
+        help="store root (default: $TETRIS_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="trim budget in bytes "
+        "(default: $TETRIS_CACHE_MAX_BYTES)",
+    )
+    args = parser.parse_args()
+
+    if not args.dir:
+        parser.error("no store: pass --dir or set TETRIS_CACHE_DIR")
+    if not os.path.isdir(args.dir):
+        print(f"cache_tool: no such cache directory: {args.dir}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    max_bytes = args.max_bytes
+    if max_bytes is None:
+        env = os.environ.get("TETRIS_CACHE_MAX_BYTES", "")
+        if env.strip().isdigit():
+            max_bytes = int(env)
+    if max_bytes is not None and max_bytes < 0:
+        parser.error("--max-bytes must be >= 0")
+
+    if args.mode == "stats":
+        return cmd_stats(args.dir)
+    if args.mode == "trim":
+        return cmd_trim(args.dir, max_bytes)
+    return cmd_clear(args.dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

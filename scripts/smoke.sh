@@ -4,6 +4,13 @@
 # drops its machine-readable BENCH_*.json trajectory. The slice
 # covers the three workload families (UCCSD molecules via table2,
 # multi-pipeline comparison via fig14, QAOA via fig23).
+#
+# Second half: the persistent compile-artifact store. One bench runs
+# twice against a fresh TETRIS_CACHE_DIR; the cold run must populate
+# the store and the warm run must recompile nothing (all disk hits).
+# A deliberately corrupted artifact must degrade to a miss, not an
+# error, and scripts/cache_tool.py + scripts/bench_diff.py must
+# operate on the resulting store/trajectories.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,3 +27,58 @@ for artifact in table2 fig14 fig23; do
   test -s "build/BENCH_${artifact}.json"
   echo "smoke OK: build/BENCH_${artifact}.json written"
 done
+
+# ---- persistent disk cache: cold run, warm run, corruption --------
+warm_dir="${TETRIS_CACHE_DIR:-$PWD/build/tetris-cache}/smoke"
+rm -rf "$warm_dir"
+
+# Cold: populates the store.
+(cd build && TETRIS_CACHE_DIR="$warm_dir" ./table2_main)
+python3 - build/BENCH_table2.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+disk = doc["cache"]["disk"]
+assert disk["enabled"], "disk cache not enabled on cold run"
+assert disk["writes"] > 0, "cold run persisted nothing"
+assert disk["hits"] == 0, "cold run cannot have disk hits"
+print(f"smoke OK: cold run persisted {disk['writes']} artifact(s)")
+EOF
+cp build/BENCH_table2.json build/BENCH_table2.cold.json
+
+# Warm: identical run must deserialize everything, compiling nothing.
+(cd build && TETRIS_CACHE_DIR="$warm_dir" ./table2_main)
+python3 - build/BENCH_table2.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+disk = doc["cache"]["disk"]
+counts = doc["engine"]["counts"]
+assert disk["hits"] > 0, "warm run reported no disk-cache hits"
+assert counts.get("jobs.completed", 0) == 0, \
+    f"warm run still compiled {counts.get('jobs.completed')} job(s)"
+print(f"smoke OK: warm run served {disk['hits']} job(s) from disk, "
+      "0 recompilations")
+EOF
+
+# Identical runs must also diff clean.
+python3 scripts/bench_diff.py \
+  build/BENCH_table2.cold.json build/BENCH_table2.json
+
+# Corrupt one artifact: the next run must degrade it to a miss and
+# still succeed end to end.
+victim="$(find "$warm_dir" -name '*.tca' | head -n1)"
+test -n "$victim"
+printf 'deliberately corrupted' > "$victim"
+(cd build && TETRIS_CACHE_DIR="$warm_dir" ./table2_main)
+python3 - build/BENCH_table2.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+disk = doc["cache"]["disk"]
+assert disk["misses"] > 0, "corrupted artifact did not read as a miss"
+print("smoke OK: corrupted artifact degraded to a miss "
+      f"({disk['misses']} miss(es), run still succeeded)")
+EOF
+
+python3 scripts/cache_tool.py stats --dir "$warm_dir"
+python3 scripts/cache_tool.py trim --dir "$warm_dir" --max-bytes 0
+python3 scripts/cache_tool.py stats --dir "$warm_dir"
+echo "smoke OK: persistent cache cold/warm/corruption cycle passed"

@@ -88,6 +88,11 @@ struct CompileResult
     CompileStats stats;
     Layout finalLayout;
     std::vector<size_t> blockOrder; ///< Scheduled block indices.
+    /**
+     * True when the engine abandoned the job before compiling it
+     * (Engine::cancelPending); all other fields are empty/zero then.
+     */
+    bool cancelled = false;
 };
 
 /** Compile a block list for a device with the Tetris pipeline. */

@@ -50,6 +50,13 @@ CompileCache::size() const
 }
 
 void
+CompileCache::erase(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase(key);
+}
+
+void
 CompileCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);

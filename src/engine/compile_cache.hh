@@ -60,6 +60,12 @@ class CompileCache
     size_t misses() const { return misses_.load(); }
     size_t size() const;
 
+    /**
+     * Forget one key (e.g. a cancelled compilation) so the next
+     * acquire recomputes. Waiters already holding the entry keep it.
+     */
+    void erase(uint64_t key);
+
     /** Drop all entries and reset the hit/miss counters. */
     void clear();
 

@@ -1,0 +1,277 @@
+#include "engine/disk_cache.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "serialize/artifact.hh"
+
+namespace fs = std::filesystem;
+
+namespace tetris
+{
+
+namespace
+{
+
+/** Keys render as fixed-width lowercase hex: stable shard prefixes. */
+std::string
+keyHex(uint64_t key)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[static_cast<size_t>(i)] = digits[key & 0xf];
+        key >>= 4;
+    }
+    return s;
+}
+
+/** The artifact files of one store, cheap metadata included. */
+struct DiskEntry
+{
+    fs::path path;
+    uint64_t size = 0;
+    fs::file_time_type mtime;
+};
+
+std::vector<DiskEntry>
+listEntries(const std::string &dir)
+{
+    std::vector<DiskEntry> entries;
+    std::error_code ec;
+    for (const auto &shard : fs::directory_iterator(dir, ec)) {
+        if (!shard.is_directory(ec))
+            continue;
+        for (const auto &file : fs::directory_iterator(shard.path(), ec)) {
+            if (!file.is_regular_file(ec) ||
+                file.path().extension() != ".tca") {
+                continue;
+            }
+            DiskEntry e;
+            e.path = file.path();
+            e.size = file.file_size(ec);
+            e.mtime = file.last_write_time(ec);
+            if (!ec)
+                entries.push_back(std::move(e));
+        }
+    }
+    return entries;
+}
+
+/** Strict byte-count parse of TETRIS_CACHE_MAX_BYTES; 0 on reject. */
+uint64_t
+maxBytesFromEnv()
+{
+    const char *v = std::getenv("TETRIS_CACHE_MAX_BYTES");
+    if (v == nullptr || *v == '\0')
+        return 0;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    while (end != nullptr && (*end == ' ' || *end == '\t'))
+        ++end;
+    if (errno != 0 || end == v || *end != '\0' ||
+        std::strchr(v, '-') != nullptr) {
+        warn("ignoring invalid TETRIS_CACHE_MAX_BYTES='", v,
+             "' (want a plain byte count)");
+        return 0;
+    }
+    return parsed;
+}
+
+} // namespace
+
+std::shared_ptr<DiskCache>
+DiskCache::openFromEnv()
+{
+    const char *dir = std::getenv("TETRIS_CACHE_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return nullptr;
+    return open(dir, maxBytesFromEnv());
+}
+
+std::shared_ptr<DiskCache>
+DiskCache::open(const std::string &dir, uint64_t max_bytes)
+{
+    if (dir.find_first_not_of(" \t\n") == std::string::npos) {
+        warn("disk cache disabled: empty cache directory path");
+        return nullptr;
+    }
+    std::error_code ec;
+    // Pin relative paths to the current CWD once, so later loads and
+    // stores don't silently retarget when the process chdirs.
+    fs::path root = fs::absolute(dir, ec);
+    if (ec) {
+        warn("disk cache disabled: cannot resolve '", dir, "': ",
+             ec.message());
+        return nullptr;
+    }
+    fs::create_directories(root, ec);
+    if (ec) {
+        warn("disk cache disabled: cannot create '", root.string(),
+             "': ", ec.message());
+        return nullptr;
+    }
+    // Probe writability now: a read-only store must degrade to
+    // cache-off at startup, not to per-job warnings mid-sweep.
+    fs::path probe =
+        root / (".probe." + std::to_string(::getpid()) + ".tmp");
+    {
+        std::ofstream out(probe, std::ios::binary);
+        out << "probe";
+        if (!out) {
+            warn("disk cache disabled: '", root.string(),
+                 "' is not writable");
+            fs::remove(probe, ec);
+            return nullptr;
+        }
+    }
+    fs::remove(probe, ec);
+    return std::shared_ptr<DiskCache>(
+        new DiskCache(root.string(), max_bytes));
+}
+
+std::string
+DiskCache::pathFor(uint64_t key) const
+{
+    std::string hex = keyHex(key);
+    return (fs::path(dir_) / hex.substr(0, 2) / (hex + ".tca")).string();
+}
+
+std::shared_ptr<const CompileResult>
+DiskCache::load(uint64_t key) const
+{
+    fs::path path = pathFor(key);
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            misses_.fetch_add(1);
+            return nullptr;
+        }
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+        if (!in.good() && !in.eof()) {
+            misses_.fetch_add(1);
+            return nullptr;
+        }
+    }
+    auto result = std::make_shared<CompileResult>();
+    if (!serialize::decodeArtifact(bytes, key, *result)) {
+        // Corruption of any kind is a miss: the caller recompiles and
+        // the subsequent store() overwrites the bad file.
+        misses_.fetch_add(1);
+        return nullptr;
+    }
+    hits_.fetch_add(1);
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    return result;
+}
+
+bool
+DiskCache::store(uint64_t key, const CompileResult &result) const
+{
+    std::string image = serialize::encodeArtifact(key, result);
+    fs::path path = pathFor(key);
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    if (ec) {
+        warn("disk cache: cannot create shard dir for ",
+             path.string(), ": ", ec.message());
+        return false;
+    }
+    // Unique-per-writer temp name in the final directory, so the
+    // rename is a same-filesystem atomic replace.
+    static std::atomic<unsigned> seq{0};
+    fs::path tmp = path;
+    tmp += ".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(seq.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(image.data(),
+                  static_cast<std::streamsize>(image.size()));
+        // Close before the rename and re-check: a buffered write
+        // error (ENOSPC) may only surface at flush time, and a
+        // truncated temp file must never reach the final path.
+        out.close();
+        if (out.fail()) {
+            warn("disk cache: write failed for ", tmp.string());
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("disk cache: rename failed for ", path.string(), ": ",
+             ec.message());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    writes_.fetch_add(1);
+    return true;
+}
+
+size_t
+DiskCache::trim(uint64_t max_bytes) const
+{
+    std::vector<DiskEntry> entries = listEntries(dir_);
+    uint64_t total = 0;
+    for (const auto &e : entries)
+        total += e.size;
+    if (total <= max_bytes)
+        return 0;
+    std::sort(entries.begin(), entries.end(),
+              [](const DiskEntry &a, const DiskEntry &b) {
+                  return a.mtime < b.mtime;
+              });
+    size_t removed = 0;
+    std::error_code ec;
+    for (const auto &e : entries) {
+        if (total <= max_bytes)
+            break;
+        if (fs::remove(e.path, ec) && !ec) {
+            total -= e.size;
+            ++removed;
+        }
+    }
+    return removed;
+}
+
+void
+DiskCache::clear() const
+{
+    std::error_code ec;
+    for (const auto &e : listEntries(dir_))
+        fs::remove(e.path, ec);
+    // Drop now-empty shard dirs; harmless if another process is
+    // concurrently repopulating them (its store() recreates dirs).
+    for (const auto &shard : fs::directory_iterator(dir_, ec)) {
+        std::error_code ignore;
+        if (shard.is_directory(ignore) &&
+            fs::is_empty(shard.path(), ignore)) {
+            fs::remove(shard.path(), ignore);
+        }
+    }
+}
+
+DiskCache::Usage
+DiskCache::usage() const
+{
+    Usage u;
+    for (const auto &e : listEntries(dir_)) {
+        ++u.entries;
+        u.bytes += e.size;
+    }
+    return u;
+}
+
+} // namespace tetris

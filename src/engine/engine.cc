@@ -2,6 +2,7 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "engine/disk_cache.hh"
 
 namespace tetris
 {
@@ -14,6 +15,17 @@ Engine::Engine(EngineOptions opts)
 Engine::~Engine()
 {
     pool_.waitIdle();
+    // Apply the store's eviction budget once the sweep is done, not
+    // per write: trimming mid-run could evict entries the same run
+    // is about to read back.
+    if (opts_.diskCache && opts_.diskCache->maxBytes() > 0)
+        opts_.diskCache->trim(opts_.diskCache->maxBytes());
+}
+
+const DiskCache *
+Engine::diskCache() const
+{
+    return opts_.diskCache.get();
 }
 
 uint64_t
@@ -46,9 +58,36 @@ Engine::reportDone(const std::string &name)
 }
 
 void
-Engine::runJob(const CompileJob &job,
+Engine::runJob(const CompileJob &job, uint64_t key,
                const std::shared_ptr<CompileCache::Entry> &entry)
 {
+    // Cancellation gate: checked when a worker dequeues the job, so
+    // cancelPending() stops everything that has not started yet.
+    if (cancel_.load()) {
+        metrics_.addCount("jobs.cancelled");
+        if (opts_.enableCache) {
+            // Don't let the placeholder result shadow the key: a
+            // later engine (or run) must recompile it.
+            cache_.erase(key);
+        }
+        auto placeholder = std::make_shared<CompileResult>();
+        placeholder->cancelled = true;
+        reportDone(job.name);
+        entry->publish(std::move(placeholder));
+        return;
+    }
+
+    // Read-through: an in-memory miss may still be served from the
+    // persistent store of a previous process.
+    if (opts_.diskCache) {
+        if (auto persisted = opts_.diskCache->load(key)) {
+            metrics_.addCount("jobs.disk_hits");
+            reportDone(job.name);
+            entry->publish(std::move(persisted));
+            return;
+        }
+    }
+
     CompileResult result = job.pipeline->run(job.blocks, *job.hw);
     metrics_.recordCompile(result.stats);
     metrics_.addCount("jobs.completed");
@@ -56,8 +95,12 @@ Engine::runJob(const CompileJob &job,
     // (compileAll callers) may proceed, and every callback for their
     // jobs must already have returned.
     reportDone(job.name);
-    entry->publish(
-        std::make_shared<const CompileResult>(std::move(result)));
+    auto shared = std::make_shared<const CompileResult>(std::move(result));
+    entry->publish(shared);
+    // Write-behind: persist after publishing so waiters never block
+    // on disk I/O.
+    if (opts_.diskCache)
+        opts_.diskCache->store(key, *shared);
 }
 
 Engine::JobId
@@ -71,10 +114,11 @@ Engine::submit(CompileJob job)
         ++submitted_;
     }
 
+    const uint64_t key = jobKey(job);
     std::shared_ptr<CompileCache::Entry> entry;
     bool is_new = true;
     if (opts_.enableCache) {
-        entry = cache_.acquire(jobKey(job), is_new);
+        entry = cache_.acquire(key, is_new);
     } else {
         // No dedup: every submission gets a private slot.
         entry = std::make_shared<CompileCache::Entry>();
@@ -83,8 +127,9 @@ Engine::submit(CompileJob job)
     if (is_new) {
         // The worker owns a copy of the job; callers may mutate or
         // destroy theirs immediately after submit().
-        pool_.submit(
-            [this, job = std::move(job), entry] { runJob(job, entry); });
+        pool_.submit([this, job = std::move(job), key, entry] {
+            runJob(job, key, entry);
+        });
     } else {
         metrics_.addCount("jobs.deduplicated");
         // No work left for this submission: the shared entry is (or

@@ -18,11 +18,19 @@
  *
  * Thread count defaults to TETRIS_ENGINE_THREADS, falling back to
  * hardware concurrency (see ThreadPool::resolveThreadCount).
+ *
+ * Below the in-memory cache an optional DiskCache (engine/
+ * disk_cache.hh) persists results across processes: in-memory misses
+ * read through to disk, fresh compilations write behind to it, and
+ * teardown applies the store's eviction budget. Long sweeps can be
+ * abandoned with cancelPending(): queued-but-unstarted jobs publish
+ * a `cancelled` CompileResult instead of compiling.
  */
 
 #ifndef TETRIS_ENGINE_ENGINE_HH
 #define TETRIS_ENGINE_ENGINE_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -38,6 +46,8 @@
 
 namespace tetris
 {
+
+class DiskCache;
 
 /** One unit of batch work: a workload, a device, and a pipeline. */
 struct CompileJob
@@ -60,6 +70,13 @@ struct EngineOptions
     int numThreads = 0;
     /** Deduplicate identical jobs through the compile cache. */
     bool enableCache = true;
+    /**
+     * Persistent tier under the in-memory cache; null = disabled
+     * (the default, so unit tests never touch the filesystem).
+     * Wire the environment-configured store in with
+     * DiskCache::openFromEnv(), as bench_util and compile_cli do.
+     */
+    std::shared_ptr<DiskCache> diskCache;
     /**
      * Progress hook: called once per submission when its work is
      * finished -- after the compilation for fresh jobs, immediately
@@ -100,8 +117,23 @@ class Engine
     std::vector<std::shared_ptr<const CompileResult>>
     compileAll(std::vector<CompileJob> jobs);
 
+    /**
+     * Abandon every job that has not started compiling yet: each
+     * publishes an empty CompileResult with `cancelled` set (so
+     * compileAll/wait still return one result per submission, in
+     * order) and its key leaves the in-memory cache. One-way for the
+     * lifetime of this engine; jobs submitted afterwards are also
+     * cancelled. Jobs already inside Pipeline::run complete normally.
+     */
+    void cancelPending() { cancel_.store(true); }
+
+    /** True once cancelPending() has been called. */
+    bool cancelRequested() const { return cancel_.load(); }
+
     int numThreads() const { return pool_.numThreads(); }
     const CompileCache &cache() const { return cache_; }
+    /** The persistent tier, or null when disabled. */
+    const DiskCache *diskCache() const;
     MetricsRegistry &metrics() { return metrics_; }
     const MetricsRegistry &metrics() const { return metrics_; }
 
@@ -113,11 +145,12 @@ class Engine
     static uint64_t jobKey(const CompileJob &job);
 
   private:
-    void runJob(const CompileJob &job,
+    void runJob(const CompileJob &job, uint64_t key,
                 const std::shared_ptr<CompileCache::Entry> &entry);
     void reportDone(const std::string &name);
 
     EngineOptions opts_;
+    std::atomic<bool> cancel_{false};
     MetricsRegistry metrics_;
     CompileCache cache_;
     ThreadPool pool_;

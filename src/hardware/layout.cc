@@ -16,6 +16,25 @@ Layout::Layout(int num_logical, int num_physical)
     }
 }
 
+std::optional<Layout>
+Layout::fromMapping(const std::vector<int> &l2p, int num_physical)
+{
+    if (num_physical < 0)
+        return std::nullopt;
+    Layout layout;
+    layout.l2p_ = l2p;
+    layout.p2l_.assign(num_physical, -1);
+    for (size_t logical = 0; logical < l2p.size(); ++logical) {
+        int phys = l2p[logical];
+        if (phys < 0)
+            continue; // unplaced
+        if (phys >= num_physical || layout.p2l_[phys] >= 0)
+            return std::nullopt; // out of range or two-on-one
+        layout.p2l_[phys] = static_cast<int>(logical);
+    }
+    return layout;
+}
+
 void
 Layout::applySwap(int phys_a, int phys_b)
 {

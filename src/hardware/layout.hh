@@ -6,6 +6,7 @@
 #ifndef TETRIS_HARDWARE_LAYOUT_HH
 #define TETRIS_HARDWARE_LAYOUT_HH
 
+#include <optional>
 #include <vector>
 
 namespace tetris
@@ -24,6 +25,16 @@ class Layout
 
     /** Identity mapping: logical i on physical i. */
     Layout(int num_logical, int num_physical);
+
+    /**
+     * Rebuild a layout from its logical->physical vector (the
+     * toPhysical() image), e.g. when deserializing. Entries of -1 are
+     * unplaced logical qubits. Returns nullopt instead of asserting
+     * when the mapping is not an injective map into
+     * [0, num_physical) — the input may come from untrusted bytes.
+     */
+    static std::optional<Layout> fromMapping(const std::vector<int> &l2p,
+                                             int num_physical);
 
     int numLogical() const { return static_cast<int>(l2p_.size()); }
     int numPhysical() const { return static_cast<int>(p2l_.size()); }

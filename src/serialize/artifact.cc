@@ -1,0 +1,229 @@
+#include "serialize/artifact.hh"
+
+#include "common/hash.hh"
+
+namespace tetris::serialize
+{
+
+namespace
+{
+
+/** "TCA1" read as a little-endian u32. */
+constexpr uint32_t kMagic = 0x31414354u;
+
+/**
+ * Upper bound on element counts read from untrusted input. Each
+ * element is >= 1 payload byte, so a count past the remaining bytes
+ * is always bogus; this also caps allocation before that check.
+ */
+constexpr uint64_t kMaxCount = uint64_t{1} << 32;
+
+bool
+countOk(BinaryReader &r, uint64_t n)
+{
+    if (n > kMaxCount || n > r.remaining()) {
+        r.fail();
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+write(BinaryWriter &w, const Circuit &c)
+{
+    w.i32(c.numQubits());
+    w.u64(c.size());
+    for (const Gate &g : c.gates()) {
+        w.u8(static_cast<uint8_t>(g.kind));
+        w.i32(g.q0);
+        w.i32(g.q1);
+        w.f64(g.angle);
+    }
+}
+
+bool
+read(BinaryReader &r, Circuit &c)
+{
+    int nq = r.i32();
+    uint64_t count = r.u64();
+    if (!r.ok() || nq < 0 || !countOk(r, count))
+        return false;
+    c = Circuit(nq);
+    for (uint64_t i = 0; i < count; ++i) {
+        Gate g;
+        uint8_t kind = r.u8();
+        g.q0 = r.i32();
+        g.q1 = r.i32();
+        g.angle = r.f64();
+        if (!r.ok() || kind > static_cast<uint8_t>(GateKind::RESET)) {
+            r.fail();
+            return false;
+        }
+        g.kind = static_cast<GateKind>(kind);
+        // Circuit::add asserts qubit ranges; validate here instead so
+        // corrupt bytes surface as a decode failure, not an abort.
+        bool q0_ok = g.q0 >= 0 && g.q0 < nq;
+        bool q1_ok = g.isTwoQubit() ? (g.q1 >= 0 && g.q1 < nq &&
+                                       g.q1 != g.q0)
+                                    : g.q1 < 0;
+        if (!q0_ok || !q1_ok) {
+            r.fail();
+            return false;
+        }
+        c.add(g);
+    }
+    return true;
+}
+
+void
+write(BinaryWriter &w, const CompileStats &s)
+{
+    w.u64(s.cnotCount);
+    w.u64(s.oneQubitCount);
+    w.u64(s.totalGateCount);
+    w.u64(s.depth);
+    w.f64(s.durationDt);
+    w.u64(s.swapCount);
+    w.u64(s.swapCnots);
+    w.u64(s.logicalCnots);
+    w.u64(s.originalCnots);
+    w.f64(s.cancelRatio);
+    w.f64(s.compileSeconds);
+    w.f64(s.scheduleSeconds);
+    w.f64(s.synthSeconds);
+    w.f64(s.peepholeSeconds);
+    w.u64(s.synthesis.insertedSwaps);
+    w.u64(s.synthesis.emittedCx);
+    w.u64(s.synthesis.bridgeNodes);
+    w.u64(s.synthesis.blocksWithCancellation);
+    w.u64(s.synthesis.blocksFallback);
+}
+
+bool
+read(BinaryReader &r, CompileStats &s)
+{
+    s.cnotCount = r.u64();
+    s.oneQubitCount = r.u64();
+    s.totalGateCount = r.u64();
+    s.depth = r.u64();
+    s.durationDt = r.f64();
+    s.swapCount = r.u64();
+    s.swapCnots = r.u64();
+    s.logicalCnots = r.u64();
+    s.originalCnots = r.u64();
+    s.cancelRatio = r.f64();
+    s.compileSeconds = r.f64();
+    s.scheduleSeconds = r.f64();
+    s.synthSeconds = r.f64();
+    s.peepholeSeconds = r.f64();
+    s.synthesis.insertedSwaps = r.u64();
+    s.synthesis.emittedCx = r.u64();
+    s.synthesis.bridgeNodes = r.u64();
+    s.synthesis.blocksWithCancellation = r.u64();
+    s.synthesis.blocksFallback = r.u64();
+    return r.ok();
+}
+
+void
+write(BinaryWriter &w, const Layout &l)
+{
+    w.i32(l.numPhysical());
+    w.u64(static_cast<uint64_t>(l.numLogical()));
+    for (int logical = 0; logical < l.numLogical(); ++logical)
+        w.i32(l.physOf(logical));
+}
+
+bool
+read(BinaryReader &r, Layout &l)
+{
+    int num_physical = r.i32();
+    uint64_t num_logical = r.u64();
+    // fromMapping allocates num_physical slots up front, so bound it
+    // before trusting it: a checksum-valid but crafted/foreign file
+    // must not be able to trigger a multi-GB allocation (bad_alloc
+    // would escape decodeArtifact's no-throw contract). 1<<24 is
+    // orders of magnitude above any real device.
+    if (!r.ok() || num_physical < 0 || num_physical > (1 << 24) ||
+        !countOk(r, num_logical)) {
+        return false;
+    }
+    std::vector<int> l2p(static_cast<size_t>(num_logical));
+    for (auto &phys : l2p)
+        phys = r.i32();
+    if (!r.ok())
+        return false;
+    auto layout = Layout::fromMapping(l2p, num_physical);
+    if (!layout) {
+        r.fail();
+        return false;
+    }
+    l = std::move(*layout);
+    return true;
+}
+
+std::string
+encodeArtifact(uint64_t job_key, const CompileResult &result)
+{
+    BinaryWriter payload;
+    write(payload, result.circuit);
+    write(payload, result.stats);
+    write(payload, result.finalLayout);
+    payload.u64(result.blockOrder.size());
+    for (size_t idx : result.blockOrder)
+        payload.u64(idx);
+    payload.u8(result.cancelled ? 1 : 0);
+
+    BinaryWriter file;
+    file.u32(kMagic);
+    file.u32(kArtifactVersion);
+    file.u64(job_key);
+    file.u64(payload.size());
+    file.bytes(payload.data().data(), payload.size());
+    file.u64(fnvMixBytes(kFnvOffset, payload.data().data(),
+                         payload.size()));
+    return file.data();
+}
+
+bool
+decodeArtifact(std::string_view bytes, uint64_t expected_key,
+               CompileResult &result)
+{
+    BinaryReader file(bytes);
+    uint32_t magic = file.u32();
+    uint32_t version = file.u32();
+    uint64_t key = file.u64();
+    uint64_t payload_size = file.u64();
+    if (!file.ok() || magic != kMagic || version != kArtifactVersion ||
+        key != expected_key) {
+        return false;
+    }
+    std::string_view payload = file.view(payload_size);
+    uint64_t checksum = file.u64();
+    if (!file.ok() || !file.atEnd() ||
+        checksum !=
+            fnvMixBytes(kFnvOffset, payload.data(), payload.size())) {
+        return false;
+    }
+
+    BinaryReader r(payload);
+    CompileResult decoded;
+    if (!read(r, decoded.circuit) || !read(r, decoded.stats) ||
+        !read(r, decoded.finalLayout)) {
+        return false;
+    }
+    uint64_t order_count = r.u64();
+    if (!r.ok() || !countOk(r, order_count))
+        return false;
+    decoded.blockOrder.resize(static_cast<size_t>(order_count));
+    for (auto &idx : decoded.blockOrder)
+        idx = static_cast<size_t>(r.u64());
+    decoded.cancelled = r.u8() != 0;
+    if (!r.ok() || !r.atEnd())
+        return false;
+    result = std::move(decoded);
+    return true;
+}
+
+} // namespace tetris::serialize

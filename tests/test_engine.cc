@@ -4,15 +4,20 @@
  * dispatch against the direct entry points, compile-cache hit/miss
  * accounting, in-flight dedup and cross-pipeline key separation,
  * progress reporting, thread-pool stress, the single-thread
- * fallback, the hardened TETRIS_ENGINE_THREADS knob, and JSON
- * serialization of stats and metrics.
+ * fallback, the hardened TETRIS_ENGINE_THREADS knob, JSON
+ * serialization of stats and metrics, and cancellation of pending
+ * jobs. (The persistent disk tier has its own suite in
+ * test_disk_cache.cc.)
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
+#include <thread>
 #include <tuple>
 
 #include "baselines/max_cancel.hh"
@@ -500,6 +505,160 @@ TEST(Engine, CacheDisabled)
     EXPECT_EQ(engine.cache().hits(), 0u);
     EXPECT_EQ(engine.cache().misses(), 0u);
     EXPECT_EQ(engine.metrics().count("jobs.completed"), 2u);
+}
+
+/**
+ * A pipeline whose run() blocks on an external gate, making the
+ * engine's queue state deterministic for the cancellation tests.
+ */
+class GatedPipeline final : public Pipeline
+{
+  public:
+    const std::string &name() const override
+    {
+        static const std::string id = "test-gated";
+        return id;
+    }
+
+    CompileResult
+    run(const std::vector<PauliBlock> &blocks,
+        const CouplingGraph &hw) const override
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            started_ = true;
+            cv_.notify_all();
+            cv_.wait(lock, [this] { return released_; });
+        }
+        return compileNaive(blocks, hw);
+    }
+
+    uint64_t optionsHash() const override { return 0xfade; }
+
+    void
+    waitStarted() const
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return started_; });
+    }
+
+    void
+    release() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        released_ = true;
+        cv_.notify_all();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    mutable std::condition_variable cv_;
+    mutable bool started_ = false;
+    mutable bool released_ = false;
+};
+
+TEST(Engine, CancelPendingAbandonsQueuedJobs)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+    auto gated = std::make_shared<GatedPipeline>();
+
+    EngineOptions opts;
+    opts.numThreads = 1; // single worker: queue order is the run order
+    Engine engine(opts);
+    EXPECT_FALSE(engine.cancelRequested());
+
+    CompileJob first;
+    first.name = "running";
+    first.blocks = buildSyntheticUcc(5, 1);
+    first.hw = hw;
+    first.pipeline = gated;
+    auto first_id = engine.submit(first);
+
+    std::vector<Engine::JobId> pending_ids;
+    for (int n : {5, 6, 7}) {
+        CompileJob job;
+        job.name = "pending" + std::to_string(n);
+        job.blocks = buildSyntheticUcc(n, 50 + n);
+        job.hw = hw;
+        pending_ids.push_back(engine.submit(job));
+    }
+
+    // The worker is provably inside job 0; the rest are queued.
+    gated->waitStarted();
+    engine.cancelPending();
+    EXPECT_TRUE(engine.cancelRequested());
+    gated->release();
+
+    // The in-flight job completes normally...
+    auto first_result = engine.wait(first_id);
+    ASSERT_NE(first_result, nullptr);
+    EXPECT_FALSE(first_result->cancelled);
+    EXPECT_GT(first_result->stats.totalGateCount, 0u);
+
+    // ...every queued job returns a cancelled placeholder, in order.
+    for (auto id : pending_ids) {
+        auto r = engine.wait(id);
+        ASSERT_NE(r, nullptr);
+        EXPECT_TRUE(r->cancelled);
+        EXPECT_TRUE(r->circuit.empty());
+        EXPECT_EQ(r->stats.totalGateCount, 0u);
+    }
+    EXPECT_EQ(engine.metrics().count("jobs.cancelled"), 3u);
+    EXPECT_EQ(engine.metrics().count("jobs.completed"), 1u);
+
+    // Cancelled keys left the cache: a fresh engine recompiles them.
+    EXPECT_EQ(engine.cache().size(), 1u);
+
+    // The flag is one-way: later submissions cancel immediately.
+    CompileJob late;
+    late.name = "late";
+    late.blocks = buildSyntheticUcc(6, 99);
+    late.hw = hw;
+    auto late_result = engine.wait(engine.submit(late));
+    ASSERT_NE(late_result, nullptr);
+    EXPECT_TRUE(late_result->cancelled);
+}
+
+TEST(Engine, CompileAllReturnsInOrderUnderCancellation)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+    auto gated = std::make_shared<GatedPipeline>();
+
+    EngineOptions opts;
+    opts.numThreads = 1;
+    Engine engine(opts);
+
+    std::vector<CompileJob> jobs;
+    CompileJob blocker;
+    blocker.name = "blocker";
+    blocker.blocks = buildSyntheticUcc(5, 2);
+    blocker.hw = hw;
+    blocker.pipeline = gated;
+    jobs.push_back(blocker);
+    for (int n : {5, 6, 7, 8}) {
+        CompileJob job;
+        job.name = "j" + std::to_string(n);
+        job.blocks = buildSyntheticUcc(n, 70 + n);
+        job.hw = hw;
+        jobs.push_back(std::move(job));
+    }
+
+    // Cancel while compileAll is blocked on the gated first job.
+    std::thread canceller([&] {
+        gated->waitStarted();
+        engine.cancelPending();
+        gated->release();
+    });
+    auto results = engine.compileAll(std::move(jobs));
+    canceller.join();
+
+    ASSERT_EQ(results.size(), 5u);
+    ASSERT_NE(results[0], nullptr);
+    EXPECT_FALSE(results[0]->cancelled); // already in flight
+    for (size_t i = 1; i < results.size(); ++i) {
+        ASSERT_NE(results[i], nullptr) << "job " << i;
+        EXPECT_TRUE(results[i]->cancelled) << "job " << i;
+    }
 }
 
 TEST(Engine, StatsSerializeToJson)
