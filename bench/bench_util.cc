@@ -1,5 +1,6 @@
 #include "bench_util.hh"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +18,13 @@ bool
 quickMode()
 {
     const char *v = std::getenv("TETRIS_BENCH_QUICK");
+    return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+bool
+verifyEnabled()
+{
+    const char *v = std::getenv("TETRIS_VERIFY");
     return v != nullptr && std::strcmp(v, "0") != 0;
 }
 
@@ -56,6 +64,25 @@ progressEnabled()
     return isatty(fileno(stderr)) != 0;
 }
 
+/**
+ * Ctrl-C on a long sweep: abandon everything still queued so the
+ * binary reaches its table printers and writeBenchJson() with the
+ * results finished so far (cancelled jobs carry the `cancelled`
+ * flag; the trajectory records "interrupted": true). Only
+ * async-signal-safe work happens here -- cancelPending() is a
+ * lock-free atomic store. The handler then re-arms SIG_DFL so a
+ * second Ctrl-C kills the process the ordinary way.
+ */
+Engine *g_sigint_engine = nullptr;
+
+void
+benchSigintHandler(int)
+{
+    if (g_sigint_engine != nullptr)
+        g_sigint_engine->cancelPending();
+    std::signal(SIGINT, SIG_DFL);
+}
+
 EngineOptions
 benchEngineOptions()
 {
@@ -63,6 +90,9 @@ benchEngineOptions()
     // Persistent artifact store: active only when TETRIS_CACHE_DIR
     // is set, so repeated sweeps skip recompilation entirely.
     opts.diskCache = DiskCache::openFromEnv();
+    // Semantic backstop: TETRIS_VERIFY=1 runs every result (fresh or
+    // deserialized) through the equivalence verifier.
+    opts.verify = verifyEnabled();
     if (progressEnabled()) {
         opts.onJobDone = [](size_t done, size_t total,
                             const std::string &name) {
@@ -79,6 +109,12 @@ Engine &
 benchEngine()
 {
     static Engine engine(benchEngineOptions());
+    static const bool sigint_hooked = [] {
+        g_sigint_engine = &engine;
+        std::signal(SIGINT, benchSigintHandler);
+        return true;
+    }();
+    (void)sigint_hooked;
     return engine;
 }
 
@@ -127,6 +163,7 @@ writeBenchJson(const std::string &artifact,
     w.beginObject();
     w.key("artifact").value(artifact);
     w.key("quickMode").value(quickMode());
+    w.key("interrupted").value(engine.cancelRequested());
     w.key("threads").value(engine.numThreads());
     w.key("jobs").beginArray();
     for (const auto &[name, result] : records) {
@@ -159,6 +196,12 @@ writeBenchJson(const std::string &artifact,
         w.key("writes").value(static_cast<uint64_t>(disk->writes()));
     }
     w.endObject();
+    w.endObject();
+    w.key("verify").beginObject();
+    w.key("enabled").value(engine.verifyEnabled());
+    w.key("pass").value(engine.metrics().count("verify.pass"));
+    w.key("fail").value(engine.metrics().count("verify.fail"));
+    w.key("skipped").value(engine.metrics().count("verify.skipped"));
     w.endObject();
     w.endObject();
 

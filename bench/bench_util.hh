@@ -19,6 +19,17 @@
  * of the same binary deserializes its results instead of
  * recompiling; the trajectory's "cache.disk" object reports that
  * traffic.
+ *
+ * TETRIS_VERIFY=1 turns on the semantic equivalence verifier
+ * (verify/verify.hh) for every result -- fresh compilations and
+ * deserialized artifacts alike -- and the trajectory gains a
+ * "verify" object with pass/fail/skipped counters.
+ *
+ * Ctrl-C during a sweep cancels every job still queued
+ * (Engine::cancelPending) instead of killing the process: the binary
+ * finishes with `cancelled` placeholder rows, still writes its
+ * partial BENCH_*.json (flagged "interrupted": true), and a second
+ * Ctrl-C terminates normally.
  */
 
 #ifndef TETRIS_BENCH_BENCH_UTIL_HH
@@ -41,6 +52,9 @@ namespace tetris::bench
 
 /** True when TETRIS_BENCH_QUICK is set to a non-zero value. */
 bool quickMode();
+
+/** True when TETRIS_VERIFY is set to a non-zero value. */
+bool verifyEnabled();
 
 /** Molecule list honoring quick mode (first `quick_count` entries). */
 std::vector<MoleculeSpec> benchMolecules(size_t quick_count = 3);

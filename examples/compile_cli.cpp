@@ -32,6 +32,7 @@
 #include "engine/engine.hh"
 #include "hardware/topologies.hh"
 #include "qaoa/qaoa.hh"
+#include "verify/verify.hh"
 
 namespace
 {
@@ -48,7 +49,10 @@ usage()
                  "usage: compile_cli --workload <name> [--encoder jw|bk]"
                  " [--backend ithaca|sycamore] [--compiler %s|ph|max|"
                  "tket] [--swap-weight W] [--lookahead K]"
-                 " [--no-bridging] [--qasm FILE]\n",
+                 " [--no-bridging] [--verify] [--qasm FILE]\n"
+                 "(--verify, or TETRIS_VERIFY=1, checks the compiled "
+                 "circuit against the source Pauli-block program and "
+                 "exits nonzero on a semantic mismatch)\n",
                  ids.c_str());
     std::exit(2);
 }
@@ -118,6 +122,9 @@ main(int argc, char **argv)
     std::string workload, encoder = "jw", backend = "ithaca";
     std::string compiler = "tetris", qasm_path;
     TetrisOptions opts;
+    const char *verify_env = std::getenv("TETRIS_VERIFY");
+    bool do_verify =
+        verify_env != nullptr && std::strcmp(verify_env, "0") != 0;
 
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) -> const char * {
@@ -141,6 +148,8 @@ main(int argc, char **argv)
             opts.lookaheadK = std::atoi(need("--lookahead"));
         else if (!std::strcmp(argv[i], "--no-bridging"))
             opts.synthesis.enableBridging = false;
+        else if (!std::strcmp(argv[i], "--verify"))
+            do_verify = true;
         else if (!std::strcmp(argv[i], "--qasm"))
             qasm_path = need("--qasm");
         else
@@ -192,6 +201,18 @@ main(int argc, char **argv)
             fatal("cannot write '", qasm_path, "'");
         std::printf("qasm       : %s (%zu gates)\n", qasm_path.c_str(),
                     result.circuit.size());
+    }
+
+    if (do_verify) {
+        VerifyReport report =
+            verifyCompileResult(blocks, result, VerifyOptions());
+        std::printf("verify     : %s (%s checker%s%s)\n",
+                    verifyStatusName(report.status),
+                    report.method.c_str(),
+                    report.detail.empty() ? "" : ": ",
+                    report.detail.c_str());
+        if (report.failed())
+            return 1;
     }
     return 0;
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Assert the "verify" object of BENCH_*.json trajectories is clean.
+
+Shared by scripts/smoke.sh and the CI verify-and-fuzz job so both
+enforce the same contract: the verification pass was enabled, it
+checked at least one job, and no job failed semantically.
+
+    python3 scripts/check_verify_json.py build/BENCH_table2.json [...]
+"""
+
+import json
+import sys
+
+
+def check(path):
+    with open(path) as f:
+        doc = json.load(f)
+    v = doc.get("verify")
+    assert v is not None, f"{path}: no 'verify' object"
+    assert v["enabled"], f"{path}: verify pass not enabled"
+    assert v["fail"] == 0, f"{path}: {v['fail']} semantic mismatch(es)"
+    assert v["pass"] > 0, f"{path}: verification pass checked no jobs"
+    print(f"{path}: {v['pass']} pass, {v['skipped']} skipped, 0 fail")
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit("usage: check_verify_json.py BENCH_*.json [...]")
+    for path in argv[1:]:
+        check(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

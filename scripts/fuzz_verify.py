@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Differential-fuzzing driver for the semantic equivalence verifier.
+
+Runs the seeded C++ harness (tests/test_verify_fuzz.cc) across a
+range of base seeds. Each seed generates fresh random Pauli-block
+programs and devices, compiles them through every registered
+pipeline, self-verifies each result with both checkers, and
+cross-checks pipelines pairwise on order-free programs.
+
+    python3 scripts/fuzz_verify.py                    # 10 seeds x 4 cases
+    python3 scripts/fuzz_verify.py --seeds 100 --cases 8
+    python3 scripts/fuzz_verify.py --binary build/test_verify_fuzz
+
+Exits nonzero if any seed finds a semantic divergence; the failing
+seed is printed so the run reproduces with
+    TETRIS_FUZZ_SEED=<seed> TETRIS_FUZZ_CASES=<cases> build/test_verify_fuzz
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+
+
+def parse_args():
+    p = argparse.ArgumentParser(
+        description="sweep the differential fuzz harness over seeds")
+    p.add_argument("--binary", default="build/test_verify_fuzz",
+                   help="path to the test_verify_fuzz gtest binary")
+    p.add_argument("--seeds", type=int, default=10,
+                   help="number of base seeds to run (default 10)")
+    p.add_argument("--start", type=int, default=1,
+                   help="first seed (default 1)")
+    p.add_argument("--cases", type=int, default=4,
+                   help="programs per suite per seed (default 4)")
+    p.add_argument("--gtest-filter", default="DifferentialFuzz.*",
+                   help="forwarded to --gtest_filter")
+    return p.parse_args()
+
+
+def main():
+    args = parse_args()
+    if not os.path.exists(args.binary):
+        sys.exit(f"fuzz_verify: binary not found: {args.binary} "
+                 "(build first: cmake --build build -j)")
+
+    failures = []
+    t0 = time.monotonic()
+    for seed in range(args.start, args.start + args.seeds):
+        env = dict(os.environ,
+                   TETRIS_FUZZ_SEED=str(seed),
+                   TETRIS_FUZZ_CASES=str(args.cases))
+        proc = subprocess.run(
+            [args.binary, f"--gtest_filter={args.gtest_filter}"],
+            env=env, capture_output=True, text=True)
+        if proc.returncode == 0:
+            print(f"seed {seed:>6}: ok")
+            continue
+        failures.append(seed)
+        print(f"seed {seed:>6}: FAILED", file=sys.stderr)
+        print(proc.stdout, file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+
+    dt = time.monotonic() - t0
+    total = args.seeds * args.cases
+    print(f"fuzz_verify: {args.seeds} seed(s), ~{total} program(s) "
+          f"per suite in {dt:.1f}s")
+    if failures:
+        print("fuzz_verify: FAILING SEEDS: "
+              + ", ".join(map(str, failures)), file=sys.stderr)
+        print("reproduce with: TETRIS_FUZZ_SEED=<seed> "
+              f"TETRIS_FUZZ_CASES={args.cases} {args.binary}",
+              file=sys.stderr)
+        return 1
+    print("fuzz_verify: no semantic divergence found")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

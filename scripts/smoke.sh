@@ -82,3 +82,17 @@ python3 scripts/cache_tool.py stats --dir "$warm_dir"
 python3 scripts/cache_tool.py trim --dir "$warm_dir" --max-bytes 0
 python3 scripts/cache_tool.py stats --dir "$warm_dir"
 echo "smoke OK: persistent cache cold/warm/corruption cycle passed"
+
+# ---- semantic verification sweep ----------------------------------
+# Every result of a multi-pipeline molecule sweep (and every QAOA
+# result outside the qubit-reuse contract) must pass the equivalence
+# verifier; a single verify.fail is a miscompile and fails the smoke.
+(cd build && TETRIS_VERIFY=1 ./fig14_compilers)
+python3 scripts/check_verify_json.py build/BENCH_fig14.json
+echo "smoke OK: verification sweep clean"
+
+# Bounded differential fuzz: random programs through all pipelines,
+# pairwise-checked against each other.
+python3 scripts/fuzz_verify.py --binary build/test_verify_fuzz \
+  --seeds 3 --cases 4
+echo "smoke OK: verification + differential fuzz passed"

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Compiler code-version stamp.
+ *
+ * The persistent artifact store (engine/disk_cache.hh) keys entries
+ * by Engine::jobKey, which hashes only a job's *inputs* (pipeline id,
+ * options, device, blocks). That key cannot see changes to the
+ * compiler code itself, so without an extra stamp a store populated
+ * by an older build would keep serving artifacts that the current
+ * algorithms would no longer produce.
+ *
+ * kTetrisAbiVersion is that stamp: Engine::jobKey mixes it into every
+ * cache key. Bump it in the same change whenever any pipeline's
+ * output for unchanged inputs changes (scheduler ordering, synthesis
+ * emission, peephole rules, routing, serialization semantics...).
+ * Old .tca artifacts then simply stop matching and age out via the
+ * store's LRU trim; no manual `cache_tool.py clear` needed.
+ */
+
+#ifndef TETRIS_COMMON_VERSION_HH
+#define TETRIS_COMMON_VERSION_HH
+
+#include <cstdint>
+
+namespace tetris
+{
+
+/** Compile-output ABI generation. History:
+ *   1  PR 3 store bring-up (implicit, pre-stamp)
+ *   2  PR 4 stamp introduced; keys diverge from the unstamped era
+ */
+inline constexpr uint32_t kTetrisAbiVersion = 2;
+
+} // namespace tetris
+
+#endif // TETRIS_COMMON_VERSION_HH

@@ -29,14 +29,19 @@ Engine::diskCache() const
 }
 
 uint64_t
-Engine::jobKey(const CompileJob &job)
+Engine::jobKey(const CompileJob &job, uint32_t abi_version)
 {
     TETRIS_ASSERT(job.hw != nullptr, "job without a device");
     TETRIS_ASSERT(job.pipeline != nullptr, "job without a pipeline");
-    // The id/options pair is mixed in first so two pipelines over
+    // The code-generation stamp comes first: a compiler-algorithm
+    // change bumps kTetrisAbiVersion and every key moves, so the
+    // persistent store can never serve artifacts an older build
+    // produced (see common/version.hh).
+    uint64_t h = fnvMix(kFnvOffset, abi_version);
+    // The id/options pair is mixed in next so two pipelines over
     // identical blocks can never alias in the cache, even if their
     // option hashes happen to collide.
-    uint64_t h = fnvMixString(kFnvOffset, job.pipeline->name());
+    h = fnvMixString(h, job.pipeline->name());
     h = fnvMix(h, job.pipeline->optionsHash());
     h = fnvMix(h, job.hw->contentHash());
     h = fnvMix(h, job.blocks.size());
@@ -55,6 +60,27 @@ Engine::reportDone(const std::string &name)
     std::lock_guard<std::mutex> lock(progressMutex_);
     ++finished_;
     opts_.onJobDone(finished_, submitted_, name);
+}
+
+void
+Engine::verifyJob(const CompileJob &job, const CompileResult &result)
+{
+    ScopedTimer timer(metrics_, "verify.seconds");
+    VerifyReport report =
+        verifyCompileResult(job.blocks, result, opts_.verifyOptions);
+    switch (report.status) {
+      case VerifyStatus::Pass:
+        metrics_.addCount("verify.pass");
+        break;
+      case VerifyStatus::Fail:
+        metrics_.addCount("verify.fail");
+        warn("verify FAIL [", job.name, "] via ", report.method, ": ",
+             report.detail);
+        break;
+      case VerifyStatus::Skipped:
+        metrics_.addCount("verify.skipped");
+        break;
+    }
 }
 
 void
@@ -82,6 +108,11 @@ Engine::runJob(const CompileJob &job, uint64_t key,
     if (opts_.diskCache) {
         if (auto persisted = opts_.diskCache->load(key)) {
             metrics_.addCount("jobs.disk_hits");
+            // Disk artifacts are verified too: this is what catches a
+            // stale or silently-wrong .tca entry before its numbers
+            // reach a BENCH_*.json.
+            if (opts_.verify)
+                verifyJob(job, *persisted);
             reportDone(job.name);
             entry->publish(std::move(persisted));
             return;
@@ -91,6 +122,8 @@ Engine::runJob(const CompileJob &job, uint64_t key,
     CompileResult result = job.pipeline->run(job.blocks, *job.hw);
     metrics_.recordCompile(result.stats);
     metrics_.addCount("jobs.completed");
+    if (opts_.verify)
+        verifyJob(job, result);
     // Report before publishing: once the entry publishes, waiters
     // (compileAll callers) may proceed, and every callback for their
     // jobs must already have returned.

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/version.hh"
 #include "core/compiler.hh"
 #include "core/pipeline.hh"
 #include "engine/compile_cache.hh"
@@ -43,6 +44,7 @@
 #include "engine/thread_pool.hh"
 #include "hardware/coupling_graph.hh"
 #include "pauli/pauli_block.hh"
+#include "verify/verify.hh"
 
 namespace tetris
 {
@@ -77,6 +79,20 @@ struct EngineOptions
      * DiskCache::openFromEnv(), as bench_util and compile_cli do.
      */
     std::shared_ptr<DiskCache> diskCache;
+    /**
+     * Run the semantic equivalence verifier (verify/verify.hh) on
+     * every result this engine produces: fresh compilations and
+     * disk-cache hits alike, so a stale or corrupted-but-decodable
+     * artifact is caught the moment it is served. Outcomes land in
+     * the metrics as verify.pass / verify.fail / verify.skipped
+     * (time under verify.seconds); failures additionally warn with
+     * the job name and the checker's diagnostic. In-memory
+     * deduplicated submissions share the one verification of the
+     * submission that compiled.
+     */
+    bool verify = false;
+    /** Checker knobs used when `verify` is set. */
+    VerifyOptions verifyOptions;
     /**
      * Progress hook: called once per submission when its work is
      * finished -- after the compilation for fresh jobs, immediately
@@ -131,6 +147,8 @@ class Engine
     bool cancelRequested() const { return cancel_.load(); }
 
     int numThreads() const { return pool_.numThreads(); }
+    /** True when this engine runs the verify pass on its results. */
+    bool verifyEnabled() const { return opts_.verify; }
     const CompileCache &cache() const { return cache_; }
     /** The persistent tier, or null when disabled. */
     const DiskCache *diskCache() const;
@@ -139,14 +157,20 @@ class Engine
 
     /**
      * Content hash of everything that determines a job's output:
-     * the pipeline id, its options hash, the coupling graph, and the
-     * blocks. The compile-cache key.
+     * the compiler code generation (kTetrisAbiVersion -- so bumping
+     * it orphans every artifact an older algorithm produced), the
+     * pipeline id, its options hash, the coupling graph, and the
+     * blocks. The key of both the in-memory compile cache and the
+     * persistent artifact store. The abi_version parameter exists
+     * for tests; production callers use the current stamp.
      */
-    static uint64_t jobKey(const CompileJob &job);
+    static uint64_t jobKey(const CompileJob &job,
+                           uint32_t abi_version = kTetrisAbiVersion);
 
   private:
     void runJob(const CompileJob &job, uint64_t key,
                 const std::shared_ptr<CompileCache::Entry> &entry);
+    void verifyJob(const CompileJob &job, const CompileResult &result);
     void reportDone(const std::string &name);
 
     EngineOptions opts_;

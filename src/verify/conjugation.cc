@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Scalable Pauli-conjugation equivalence checker.
+ *
+ * Writes the compiled circuit as C_total * prod_k exp(-i t_k/2 Q_k)
+ * by pushing every Clifford gate to the end (verify/pauli_frame.hh):
+ * one O(gates * width) walk yields the input-frame rotation sequence
+ * (Q_k, t_k) plus the residual Clifford's tableau. The circuit is
+ * correct iff
+ *
+ *  (1) each Q_k restricted to the ancilla wires is Z-type (Z acts as
+ *      +1 on the |0> ancillas, so those factors are inert),
+ *  (2) the logical parts of the rotation sequence match the scheduled
+ *      blocks: within one commuting block rotation order is free and
+ *      same-axis rotations may merge, so per-axis angle *sums* must
+ *      agree mod 2pi (mod-2pi slack is a global phase). When every
+ *      pair of strings in the whole program commutes (QAOA cost
+ *      layers), the pipeline may interleave blocks arbitrarily and
+ *      all blocks collapse into a single pool. A residual left when a
+ *      block closes may carry over to the next block only if its axis
+ *      appears there and commutes with the block it crosses --
+ *      exactly the moves a commutation-aware peephole can make.
+ *  (3) the residual Clifford acts as the finalLayout permutation on
+ *      the logical wires and as a Z-type map on the |0> ancillas.
+ *
+ * Unlike the exact checker this is polynomial everywhere, so it runs
+ * on the 64/65-qubit devices of the paper's evaluation.
+ */
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "verify/internal.hh"
+#include "verify/pauli_frame.hh"
+#include "verify/verify.hh"
+
+namespace tetris
+{
+
+namespace
+{
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/** One input-frame rotation, reduced to the logical wires. */
+struct LogicalRotation
+{
+    PauliString axis; // over [0, num_logical)
+    double angle;
+};
+
+/** Expected rotations of one scheduled block. */
+struct Pool
+{
+    /** Per-axis expected-minus-consumed angle. */
+    std::map<PauliString, double> remaining;
+};
+
+bool
+angleIsIdentity(double angle, double tol)
+{
+    // exp(-i a/2 P) is the identity up to global phase iff a = 0 mod
+    // 2pi (a = 2pi gives the -1 phase).
+    return std::abs(std::remainder(angle, kTwoPi)) <= tol;
+}
+
+std::string
+describeAxis(const PauliString &axis)
+{
+    return axis.toText();
+}
+
+/**
+ * Close pool `bi`: every residual must be an identity rotation, or
+ * carry over into the next pool when that is a semantically legal
+ * move (axis present there and commuting with everything it crosses).
+ */
+bool
+closePool(std::vector<Pool> &pools, size_t bi, double tol,
+          std::string &detail)
+{
+    Pool &pool = pools[bi];
+    Pool *next = bi + 1 < pools.size() ? &pools[bi + 1] : nullptr;
+    for (auto &[axis, residual] : pool.remaining) {
+        if (angleIsIdentity(residual, tol))
+            continue;
+        bool carried = false;
+        if (next != nullptr) {
+            auto it = next->remaining.find(axis);
+            if (it != next->remaining.end()) {
+                bool commutes_through = true;
+                for (const auto &[other, unused] : pool.remaining) {
+                    if (!axis.commutesWith(other)) {
+                        commutes_through = false;
+                        break;
+                    }
+                }
+                if (commutes_through) {
+                    it->second += residual;
+                    carried = true;
+                }
+            }
+        }
+        if (!carried) {
+            std::ostringstream os;
+            os << "block " << bi << ": axis " << describeAxis(axis)
+               << " has angle residual " << residual
+               << " (not 0 mod 2pi)";
+            detail = os.str();
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+VerifyReport
+verifyConjugation(const std::vector<PauliBlock> &blocks,
+                  const CompileResult &result, const VerifyOptions &opts)
+{
+    VerifyReport report;
+    report.method = "conjugation";
+    if (result.cancelled) {
+        report.detail = "cancelled result";
+        return report;
+    }
+    if (!verify_detail::circuitIsUnitary(result.circuit)) {
+        report.detail = "circuit contains MEASURE/RESET (qubit reuse)";
+        return report;
+    }
+
+    const int num_logical = blocksNumQubits(blocks);
+    const int width = verify_detail::registerWidth(blocks, result);
+
+    std::string why_not;
+    auto perm = verify_detail::finalPermutation(result, num_logical,
+                                                width, why_not);
+    if (!perm) {
+        report.detail = why_not;
+        return report;
+    }
+
+    // ---- scheduled reference ------------------------------------
+    std::vector<size_t> order = result.blockOrder;
+    if (order.empty()) {
+        order.resize(blocks.size());
+        for (size_t i = 0; i < blocks.size(); ++i)
+            order[i] = i;
+    }
+    for (size_t idx : order) {
+        if (idx >= blocks.size()) {
+            report.status = VerifyStatus::Fail;
+            report.detail = "blockOrder references a block out of range";
+            return report;
+        }
+    }
+
+    auto extend = [&](const PauliString &s) {
+        PauliString out(static_cast<size_t>(num_logical));
+        for (size_t q = 0; q < s.numQubits(); ++q)
+            out.setOp(q, s.op(q));
+        return out;
+    };
+
+    // All-pairs commutation across the program decides whether block
+    // boundaries constrain rotation order at all.
+    std::vector<PauliString> all_strings;
+    for (const auto &b : blocks) {
+        for (const auto &s : b.strings())
+            all_strings.push_back(extend(s));
+    }
+    bool globally_commuting = true;
+    for (size_t i = 0; i < all_strings.size() && globally_commuting; ++i) {
+        for (size_t j = i + 1; j < all_strings.size(); ++j) {
+            if (!all_strings[i].commutesWith(all_strings[j])) {
+                globally_commuting = false;
+                break;
+            }
+        }
+    }
+
+    std::vector<Pool> pools;
+    if (globally_commuting) {
+        pools.emplace_back();
+    }
+    for (size_t idx : order) {
+        const PauliBlock &b = blocks[idx];
+        if (!globally_commuting) {
+            // Within one block the per-axis-sum model needs the
+            // block's strings to mutually commute; every UCCSD and
+            // QAOA workload satisfies this.
+            for (size_t i = 0; i < b.size(); ++i) {
+                for (size_t j = i + 1; j < b.size(); ++j) {
+                    if (!b.string(i).commutesWith(b.string(j))) {
+                        report.detail =
+                            "block with non-commuting strings (in-block "
+                            "rotation order not modeled)";
+                        return report;
+                    }
+                }
+            }
+            pools.emplace_back();
+        }
+        Pool &pool = pools.back();
+        for (size_t i = 0; i < b.size(); ++i)
+            pool.remaining[extend(b.string(i))] +=
+                b.weight(i) * b.theta();
+    }
+    if (pools.empty())
+        pools.emplace_back();
+
+    // ---- one walk: pull every rotation back to the input frame ----
+    PauliFrame frame(width);
+    std::vector<LogicalRotation> rotations;
+    for (const auto &g : result.circuit.gates()) {
+        if (frame.applyGate(g))
+            continue;
+        TETRIS_ASSERT(g.kind == GateKind::RZ || g.kind == GateKind::RX);
+        const SignedPauli &back = g.kind == GateKind::RZ
+                                      ? frame.backImageZ(g.q0)
+                                      : frame.backImageX(g.q0);
+        PauliString axis(static_cast<size_t>(num_logical));
+        bool ancilla_only_z = true;
+        for (int w = 0; w < width; ++w) {
+            PauliOp op = back.p.op(w);
+            if (w < num_logical) {
+                axis.setOp(w, op);
+            } else if (op != PauliOp::I && op != PauliOp::Z) {
+                ancilla_only_z = false;
+                break;
+            }
+        }
+        if (!ancilla_only_z) {
+            std::ostringstream os;
+            os << "rotation axis " << back.p.toText()
+               << " carries X/Y on a |0> ancilla wire";
+            report.status = VerifyStatus::Fail;
+            report.detail = os.str();
+            return report;
+        }
+        // Z factors on |0> ancillas are +1 eigenvalue: inert. A fully
+        // ancilla/identity axis is a pure global phase.
+        if (axis.isIdentity())
+            continue;
+        rotations.push_back({std::move(axis), back.sign * g.angle});
+    }
+
+    // ---- blockwise matching --------------------------------------
+    size_t bi = 0;
+    for (const auto &rot : rotations) {
+        while (true) {
+            if (bi >= pools.size()) {
+                std::ostringstream os;
+                os << "rotation on axis " << describeAxis(rot.axis)
+                   << " after every block was satisfied";
+                report.status = VerifyStatus::Fail;
+                report.detail = os.str();
+                return report;
+            }
+            auto it = pools[bi].remaining.find(rot.axis);
+            if (it != pools[bi].remaining.end()) {
+                it->second -= rot.angle;
+                break;
+            }
+            std::string detail;
+            if (!closePool(pools, bi, opts.angleTolerance, detail)) {
+                std::ostringstream os;
+                os << detail << "; next rotation axis "
+                   << describeAxis(rot.axis);
+                report.status = VerifyStatus::Fail;
+                report.detail = os.str();
+                return report;
+            }
+            ++bi;
+        }
+    }
+    for (; bi < pools.size(); ++bi) {
+        std::string detail;
+        if (!closePool(pools, bi, opts.angleTolerance, detail)) {
+            report.status = VerifyStatus::Fail;
+            report.detail = detail;
+            return report;
+        }
+    }
+
+    // ---- residual Clifford = finalLayout permutation -------------
+    // Conditions phrased on back-images M(P) = C^dg P C: with V the
+    // |psi>_L (x) |0>_F subspace, C|V acts as the permutation up to
+    // global phase iff the pulled-back logical generators reduce to
+    // the identity-mapped ones modulo the ancilla stabilizer
+    // <Z_f : f free-in>, and the free-out stabilizer pulls back into
+    // that same group.
+    std::vector<bool> logical_out(width, false);
+    for (int l = 0; l < num_logical; ++l)
+        logical_out[(*perm)[l]] = true;
+
+    auto checkImage = [&](const SignedPauli &img, int expect_wire,
+                          PauliOp expect_op, std::string &detail) {
+        if (img.sign != 1) {
+            detail = "negative sign";
+            return false;
+        }
+        for (int w = 0; w < width; ++w) {
+            PauliOp op = img.p.op(w);
+            if (w == expect_wire) {
+                if (op != expect_op) {
+                    detail = "wrong operator on its own wire";
+                    return false;
+                }
+            } else if (w < num_logical) {
+                if (op != PauliOp::I) {
+                    detail = "spills onto another logical wire";
+                    return false;
+                }
+            } else if (op != PauliOp::I && op != PauliOp::Z) {
+                detail = "X/Y factor on a |0> ancilla wire";
+                return false;
+            }
+        }
+        return true;
+    };
+
+    for (int l = 0; l < num_logical; ++l) {
+        int p = (*perm)[l];
+        std::string why;
+        if (!checkImage(frame.backImageX(p), l, PauliOp::X, why) ||
+            !checkImage(frame.backImageZ(p), l, PauliOp::Z, why)) {
+            std::ostringstream os;
+            os << "residual Clifford does not map logical qubit " << l
+               << " to wire " << p << ": " << why;
+            report.status = VerifyStatus::Fail;
+            report.detail = os.str();
+            return report;
+        }
+    }
+    for (int p = 0; p < width; ++p) {
+        if (logical_out[p])
+            continue;
+        // -1 = "no single wire": only the ancilla-Z pattern may match.
+        std::string why;
+        if (!checkImage(frame.backImageZ(p), -1, PauliOp::I, why)) {
+            std::ostringstream os;
+            os << "residual Clifford does not return ancilla wire " << p
+               << " to |0>: " << why;
+            report.status = VerifyStatus::Fail;
+            report.detail = os.str();
+            return report;
+        }
+    }
+
+    report.status = VerifyStatus::Pass;
+    return report;
+}
+
+} // namespace tetris

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Exact statevector equivalence checker (see verify/verify.hh).
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "sim/statevector.hh"
+#include "verify/internal.hh"
+#include "verify/verify.hh"
+
+namespace tetris
+{
+
+namespace verify_detail
+{
+
+int
+registerWidth(const std::vector<PauliBlock> &blocks,
+              const CompileResult &result)
+{
+    int width = std::max(result.circuit.numQubits(),
+                         blocksNumQubits(blocks));
+    return std::max(width, 1);
+}
+
+bool
+circuitIsUnitary(const Circuit &c)
+{
+    for (const auto &g : c.gates()) {
+        if (g.kind == GateKind::MEASURE || g.kind == GateKind::RESET)
+            return false;
+    }
+    return true;
+}
+
+std::optional<std::vector<int>>
+finalPermutation(const CompileResult &result, int num_logical,
+                 int num_phys, std::string &why_not)
+{
+    // Unrouted pipelines leave finalLayout default-constructed:
+    // logical wire l stays on physical wire l.
+    std::vector<int> new_pos(num_phys, -1);
+    std::vector<bool> used(num_phys, false);
+    const Layout &layout = result.finalLayout;
+    for (int l = 0; l < num_logical; ++l) {
+        int pos = l;
+        if (layout.numPhysical() > 0) {
+            if (l >= layout.numLogical()) {
+                why_not = "finalLayout narrower than the program";
+                return std::nullopt;
+            }
+            pos = layout.physOf(l);
+        }
+        if (pos < 0) {
+            // Qubit-reuse pipelines evict finished logical qubits;
+            // the permutation contract does not apply to them.
+            why_not = "logical qubit evicted from finalLayout "
+                      "(qubit reuse)";
+            return std::nullopt;
+        }
+        if (pos >= num_phys || used[pos]) {
+            why_not = "finalLayout is not an injective map into the "
+                      "register";
+            return std::nullopt;
+        }
+        new_pos[l] = pos;
+        used[pos] = true;
+    }
+    // Free wires are |0> on both sides; fill the remaining slots in
+    // ascending order so the permutation is total.
+    int next_free = 0;
+    for (int b = 0; b < num_phys; ++b) {
+        if (new_pos[b] >= 0)
+            continue;
+        while (used[next_free])
+            ++next_free;
+        new_pos[b] = next_free;
+        used[next_free] = true;
+    }
+    return new_pos;
+}
+
+} // namespace verify_detail
+
+namespace
+{
+
+/** Pad a logical string with identities up to num_qubits wires. */
+PauliString
+extendTo(const PauliString &s, int num_qubits)
+{
+    PauliString out(static_cast<size_t>(num_qubits));
+    for (size_t q = 0; q < s.numQubits(); ++q)
+        out.setOp(q, s.op(q));
+    return out;
+}
+
+/** |psi_logical> tensor |0...0> on a wider register. */
+Statevector
+embed(const Statevector &logical, int num_qubits)
+{
+    std::vector<Statevector::Amplitude> amp(size_t{1} << num_qubits,
+                                            0.0);
+    for (size_t i = 0; i < logical.amplitudes().size(); ++i)
+        amp[i] = logical.amplitudes()[i];
+    return Statevector::fromAmplitudes(std::move(amp));
+}
+
+/** Move bit b of the index to position new_pos[b]. */
+Statevector
+permute(const Statevector &sv, const std::vector<int> &new_pos)
+{
+    std::vector<Statevector::Amplitude> amp(sv.amplitudes().size(), 0.0);
+    for (size_t i = 0; i < sv.amplitudes().size(); ++i) {
+        size_t j = 0;
+        for (int b = 0; b < sv.numQubits(); ++b) {
+            if (i & (size_t{1} << b))
+                j |= size_t{1} << new_pos[b];
+        }
+        amp[j] = sv.amplitudes()[i];
+    }
+    return Statevector::fromAmplitudes(std::move(amp));
+}
+
+} // namespace
+
+VerifyReport
+verifyExact(const std::vector<PauliBlock> &blocks,
+            const CompileResult &result, const VerifyOptions &opts)
+{
+    VerifyReport report;
+    report.method = "exact";
+    if (result.cancelled) {
+        report.detail = "cancelled result";
+        return report;
+    }
+
+    const int num_logical = blocksNumQubits(blocks);
+    const int num_phys = verify_detail::registerWidth(blocks, result);
+    if (num_phys > opts.maxExactQubits) {
+        std::ostringstream os;
+        os << "register of " << num_phys
+           << " wires exceeds maxExactQubits=" << opts.maxExactQubits;
+        report.detail = os.str();
+        return report;
+    }
+    if (!verify_detail::circuitIsUnitary(result.circuit)) {
+        report.detail = "circuit contains MEASURE/RESET (qubit reuse)";
+        return report;
+    }
+
+    std::string why_not;
+    auto new_pos = verify_detail::finalPermutation(result, num_logical,
+                                                   num_phys, why_not);
+    if (!new_pos) {
+        report.detail = why_not;
+        return report;
+    }
+
+    std::vector<size_t> order = result.blockOrder;
+    if (order.empty()) {
+        order.resize(blocks.size());
+        for (size_t i = 0; i < blocks.size(); ++i)
+            order[i] = i;
+    }
+    for (size_t idx : order) {
+        if (idx >= blocks.size()) {
+            report.status = VerifyStatus::Fail;
+            report.detail = "blockOrder references a block out of range";
+            return report;
+        }
+    }
+
+    Rng rng(opts.seed);
+    for (int trial = 0; trial < std::max(opts.numStates, 1); ++trial) {
+        Statevector logical = Statevector::random(num_logical, rng);
+        Statevector start = embed(logical, num_phys);
+
+        Statevector actual = start;
+        actual.applyCircuit(result.circuit);
+
+        Statevector expected = start;
+        for (size_t idx : order) {
+            const PauliBlock &b = blocks[idx];
+            for (size_t i = 0; i < b.size(); ++i) {
+                expected.applyPauliExp(extendTo(b.string(i), num_phys),
+                                       b.weight(i) * b.theta());
+            }
+        }
+        expected = permute(expected, *new_pos);
+
+        double overlap = actual.overlapWith(expected);
+        if (std::abs(overlap - 1.0) >= opts.tolerance) {
+            std::ostringstream os;
+            os << "state overlap " << overlap << " on trial " << trial
+               << " (tolerance " << opts.tolerance << ")";
+            report.status = VerifyStatus::Fail;
+            report.detail = os.str();
+            return report;
+        }
+    }
+
+    report.status = VerifyStatus::Pass;
+    return report;
+}
+
+} // namespace tetris

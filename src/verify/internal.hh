@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Helpers shared between the verify checkers (not public API).
+ */
+
+#ifndef TETRIS_VERIFY_INTERNAL_HH
+#define TETRIS_VERIFY_INTERNAL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hh"
+#include "pauli/pauli_block.hh"
+
+namespace tetris::verify_detail
+{
+
+/** Simulation/tableau width: circuit wires, at least the program's. */
+int registerWidth(const std::vector<PauliBlock> &blocks,
+                  const CompileResult &result);
+
+/** True when the circuit stays in the unitary gate set. */
+bool circuitIsUnitary(const Circuit &c);
+
+/**
+ * Total wire permutation implied by finalLayout (identity when the
+ * layout is default-constructed; free wires fill remaining slots in
+ * ascending order). nullopt, with `why_not` set, when the contract
+ * does not apply (evicted logicals, malformed layout).
+ */
+std::optional<std::vector<int>>
+finalPermutation(const CompileResult &result, int num_logical,
+                 int num_phys, std::string &why_not);
+
+} // namespace tetris::verify_detail
+
+#endif // TETRIS_VERIFY_INTERNAL_HH

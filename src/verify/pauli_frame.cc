@@ -1,0 +1,76 @@
+#include "verify/pauli_frame.hh"
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+PauliFrame::PauliFrame(int num_qubits)
+{
+    TETRIS_ASSERT(num_qubits >= 1);
+    x_.reserve(num_qubits);
+    z_.reserve(num_qubits);
+    for (int q = 0; q < num_qubits; ++q) {
+        SignedPauli sx{PauliString(static_cast<size_t>(num_qubits)), 1};
+        sx.p.setOp(q, PauliOp::X);
+        x_.push_back(std::move(sx));
+        SignedPauli sz{PauliString(static_cast<size_t>(num_qubits)), 1};
+        sz.p.setOp(q, PauliOp::Z);
+        z_.push_back(std::move(sz));
+    }
+}
+
+SignedPauli
+PauliFrame::mul(const SignedPauli &a, const SignedPauli &b,
+                int extra_phase_exp)
+{
+    PauliStringProduct prod = mulStrings(a.p, b.p);
+    int exp = (prod.phaseExp + extra_phase_exp) % 4;
+    TETRIS_ASSERT(exp == 0 || exp == 2,
+                  "non-Hermitian Pauli image (phase i^", exp, ")");
+    int sign = a.sign * b.sign * (exp == 2 ? -1 : 1);
+    return {std::move(prod.string), sign};
+}
+
+bool
+PauliFrame::applyGate(const Gate &g)
+{
+    // Every rule below is M_new(G) = M_old(g^dagger G g) for the
+    // generators G on g's wires; untouched generators keep their
+    // images.
+    switch (g.kind) {
+      case GateKind::H:
+        // H X H = Z, H Z H = X.
+        std::swap(x_[g.q0], z_[g.q0]);
+        return true;
+      case GateKind::X:
+        // X Z X = -Z.
+        z_[g.q0].sign = -z_[g.q0].sign;
+        return true;
+      case GateKind::S:
+        // S^dg X S = -Y = -i X Z.
+        x_[g.q0] = mul(x_[g.q0], z_[g.q0], /*i^*/ 3);
+        return true;
+      case GateKind::Sdg:
+        // S X S^dg = Y = i X Z.
+        x_[g.q0] = mul(x_[g.q0], z_[g.q0], /*i^*/ 1);
+        return true;
+      case GateKind::CX:
+        // CX X_c CX = X_c X_t;  CX Z_t CX = Z_c Z_t.
+        x_[g.q0] = mul(x_[g.q0], x_[g.q1], 0);
+        z_[g.q1] = mul(z_[g.q0], z_[g.q1], 0);
+        return true;
+      case GateKind::SWAP:
+        std::swap(x_[g.q0], x_[g.q1]);
+        std::swap(z_[g.q0], z_[g.q1]);
+        return true;
+      case GateKind::RZ:
+      case GateKind::RX:
+      case GateKind::MEASURE:
+      case GateKind::RESET:
+        return false;
+    }
+    panic("invalid gate kind");
+}
+
+} // namespace tetris

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Clifford back-conjugation frame (stabilizer tableau).
+ *
+ * For a circuit prefix C of Clifford gates, the frame answers
+ * "what does a Pauli at the *current* point of the circuit look like
+ * pulled back to the input?": backImage(P) = C^dagger P C. That is
+ * exactly what the conjugation checker needs to lift every RZ/RX it
+ * encounters into an input-frame rotation axis (writing the circuit
+ * as C_total * prod_k exp(-i theta_k/2 Q_k) with all Cliffords pushed
+ * to the end), and to test the residual C_total against the
+ * finalLayout permutation.
+ *
+ * Representation: the signed back-images of the 2n generators X_q,
+ * Z_q. Appending a gate g maps generator G on g's wires to the
+ * back-image of g^dagger G g, a product of at most two stored
+ * generators -- O(n) per update, O(gates * n) per circuit. Signs are
+ * tracked exactly; Hermiticity of every image is a checked invariant.
+ */
+
+#ifndef TETRIS_VERIFY_PAULI_FRAME_HH
+#define TETRIS_VERIFY_PAULI_FRAME_HH
+
+#include <vector>
+
+#include "circuit/gate.hh"
+#include "pauli/pauli_string.hh"
+
+namespace tetris
+{
+
+/** A Hermitian signed Pauli operator: sign * P with sign in {+1,-1}. */
+struct SignedPauli
+{
+    PauliString p;
+    int sign = 1;
+};
+
+class PauliFrame
+{
+  public:
+    /** Identity frame over n wires. */
+    explicit PauliFrame(int num_qubits);
+
+    int numQubits() const { return static_cast<int>(x_.size()); }
+
+    /**
+     * Fold one Clifford gate into the frame. Returns false (frame
+     * unchanged) for non-Clifford kinds -- rotations, MEASURE, RESET
+     * -- which the caller must handle itself.
+     */
+    bool applyGate(const Gate &g);
+
+    /** Back-image of X on wire q under the accumulated prefix. */
+    const SignedPauli &backImageX(int q) const { return x_[q]; }
+
+    /** Back-image of Z on wire q under the accumulated prefix. */
+    const SignedPauli &backImageZ(int q) const { return z_[q]; }
+
+  private:
+    /** a * b for the stored images, plus i^extra_phase_exp. The
+     *  result must come out Hermitian (+/-1 overall); panics if not,
+     *  as that would be a frame-update bug, not bad input. */
+    static SignedPauli mul(const SignedPauli &a, const SignedPauli &b,
+                           int extra_phase_exp);
+
+    std::vector<SignedPauli> x_;
+    std::vector<SignedPauli> z_;
+};
+
+} // namespace tetris
+
+#endif // TETRIS_VERIFY_PAULI_FRAME_HH

@@ -1,0 +1,40 @@
+#include "verify/verify.hh"
+
+#include "verify/internal.hh"
+
+namespace tetris
+{
+
+const char *
+verifyStatusName(VerifyStatus s)
+{
+    switch (s) {
+      case VerifyStatus::Pass: return "pass";
+      case VerifyStatus::Fail: return "fail";
+      case VerifyStatus::Skipped: return "skipped";
+    }
+    return "?";
+}
+
+VerifyReport
+verifyCompileResult(const std::vector<PauliBlock> &blocks,
+                    const CompileResult &result,
+                    const VerifyOptions &opts)
+{
+    if (result.cancelled) {
+        VerifyReport report;
+        report.method = "none";
+        report.detail = "cancelled result";
+        return report;
+    }
+    // Exact is the stronger oracle; use it whenever the register is
+    // small enough to simulate, and fall back to the polynomial
+    // conjugation checker for the real devices.
+    if (verify_detail::registerWidth(blocks, result) <=
+        opts.maxExactQubits) {
+        return verifyExact(blocks, result, opts);
+    }
+    return verifyConjugation(blocks, result, opts);
+}
+
+} // namespace tetris

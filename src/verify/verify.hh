@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Semantic equivalence verification of compiled circuits.
+ *
+ * Every pipeline in the registry promises the same contract: its
+ * CompileResult implements the ordered product of exp(-i w theta/2 P)
+ * rotations of the scheduled blocks, followed by the finalLayout wire
+ * permutation, up to global phase, with free wires treated as |0>
+ * ancillas that return to |0>. Nothing downstream (the engine, the
+ * artifact store, the bench sweeps) re-checks that contract; this
+ * subsystem is the backstop that does.
+ *
+ * Two checkers share one report type:
+ *
+ *  - verifyExact(): simulates the compiled circuit and the analytic
+ *    reference on random input states (sim/statevector) and compares
+ *    up to global phase. Exhaustive in practice, but exponential in
+ *    width -- usable up to VerifyOptions::maxExactQubits wires.
+ *
+ *  - verifyConjugation(): scales to every device in the repository.
+ *    Walks the circuit once, maintaining the Clifford back-conjugation
+ *    frame (verify/pauli_frame.hh); each RZ/RX is pulled back to an
+ *    input-frame rotation axis, and the resulting (axis, angle)
+ *    sequence is matched blockwise against the scheduled blocks
+ *    (per-axis angle sums, mod 2pi, within each commuting block).
+ *    The residual Clifford must be exactly the finalLayout
+ *    permutation on logical wires and Z-type on the |0> ancillas.
+ *
+ * verifyCompileResult() dispatches: exact when the circuit is narrow
+ *    enough, conjugation otherwise. Circuits with MEASURE/RESET
+ *    (QAOA qubit reuse) or evicted logical qubits are reported as
+ *    Skipped -- their semantics are not the unitary contract above.
+ *
+ * The engine runs this on every fresh compilation *and* every
+ * disk-cache hit when EngineOptions::verify is set, recording
+ * verify.pass / verify.fail / verify.skipped metrics (see the README
+ * "Verification" section).
+ */
+
+#ifndef TETRIS_VERIFY_VERIFY_HH
+#define TETRIS_VERIFY_VERIFY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hh"
+#include "pauli/pauli_block.hh"
+
+namespace tetris
+{
+
+/** Outcome class of one verification. */
+enum class VerifyStatus
+{
+    /** The circuit provably implements the reference program. */
+    Pass,
+    /** A semantic divergence was found (miscompile or stale artifact). */
+    Fail,
+    /** The checker does not apply (width, reuse semantics, ...). */
+    Skipped,
+};
+
+/** Human-readable name of a status. */
+const char *verifyStatusName(VerifyStatus s);
+
+/** Knobs of both checkers. */
+struct VerifyOptions
+{
+    /** Widest register verifyExact() will simulate (2^n amplitudes). */
+    int maxExactQubits = 14;
+    /** Random input states per exact check. */
+    int numStates = 2;
+    /** Seed for the exact checker's random input states. */
+    uint64_t seed = 0x7e72150001ull;
+    /** Allowed |overlap - 1| deviation in the exact checker. */
+    double tolerance = 1e-7;
+    /** Allowed per-axis angle residual (mod 2pi) in the conjugation
+     *  checker. */
+    double angleTolerance = 1e-6;
+};
+
+/** Result of one verification run. */
+struct VerifyReport
+{
+    VerifyStatus status = VerifyStatus::Skipped;
+    /** Which checker produced the verdict: "exact"|"conjugation". */
+    std::string method;
+    /** Diagnostic for Fail (what diverged) and Skipped (why). */
+    std::string detail;
+
+    bool pass() const { return status == VerifyStatus::Pass; }
+    bool failed() const { return status == VerifyStatus::Fail; }
+};
+
+/**
+ * Statevector check: simulate compiled circuit and reference program
+ * on numStates random inputs (ancillas |0>), undo the finalLayout
+ * permutation, require overlap 1 up to `tolerance`. Skipped when the
+ * register exceeds maxExactQubits or the circuit leaves the unitary
+ * gate set (MEASURE/RESET).
+ */
+VerifyReport verifyExact(const std::vector<PauliBlock> &blocks,
+                         const CompileResult &result,
+                         const VerifyOptions &opts = VerifyOptions());
+
+/**
+ * Clifford/Pauli-conjugation check, polynomial in circuit size and
+ * width. Skipped for MEASURE/RESET circuits and for blocks whose
+ * strings do not mutually commute (their in-block rotation order
+ * matters, which this checker does not model).
+ */
+VerifyReport verifyConjugation(const std::vector<PauliBlock> &blocks,
+                               const CompileResult &result,
+                               const VerifyOptions &opts = VerifyOptions());
+
+/**
+ * The engine's entry point: exact for registers up to
+ * maxExactQubits, conjugation beyond. Cancelled results are Skipped.
+ */
+VerifyReport verifyCompileResult(const std::vector<PauliBlock> &blocks,
+                                 const CompileResult &result,
+                                 const VerifyOptions &opts
+                                 = VerifyOptions());
+
+} // namespace tetris
+
+#endif // TETRIS_VERIFY_VERIFY_HH
