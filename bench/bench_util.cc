@@ -186,6 +186,9 @@ writeBenchJson(const std::string &artifact,
         static_cast<uint64_t>(engine.cache().hits()));
     w.key("misses").value(
         static_cast<uint64_t>(engine.cache().misses()));
+    w.key("shard_count").value(
+        static_cast<uint64_t>(engine.cache().shardCount()));
+    w.key("lock_wait_ns").value(engine.cache().lockWaitNs());
     w.key("disk").beginObject();
     const DiskCache *disk = engine.diskCache();
     w.key("enabled").value(disk != nullptr);
@@ -194,6 +197,10 @@ writeBenchJson(const std::string &artifact,
         w.key("hits").value(static_cast<uint64_t>(disk->hits()));
         w.key("misses").value(static_cast<uint64_t>(disk->misses()));
         w.key("writes").value(static_cast<uint64_t>(disk->writes()));
+        w.key("mmap_loads").value(
+            static_cast<uint64_t>(disk->mmapLoads()));
+        w.key("buffered_loads").value(
+            static_cast<uint64_t>(disk->bufferedLoads()));
     }
     w.endObject();
     w.endObject();

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Caching-path performance microbenchmark -> BENCH_perf.json.
+ *
+ * Unlike the fig/table binaries this does not regenerate a paper
+ * artifact; it measures the infrastructure the bench sweeps run on:
+ *
+ *  1. In-memory compile-cache hit throughput and lock-wait time
+ *     across thread counts (1-64) and shard counts ({1, default,
+ *     64}), on a hit-heavy workload — the access pattern of a warm
+ *     sweep. This is the measurement behind the sharded-cache
+ *     design: shards > 1 must beat the single-mutex configuration
+ *     once >= 8 threads hammer the table.
+ *  2. Persistent-store artifact load latency: cold (first load per
+ *     key) vs warm (repeat loads) through the zero-copy mmap path,
+ *     plus the buffered fallback (TETRIS_DISK_MMAP=0) for
+ *     comparison.
+ *  3. An engine-level cold/warm sweep against a private store: the
+ *     warm run must recompile nothing (asserted by smoke.sh from the
+ *     JSON) and serve every hit through the mmap path.
+ *
+ * TETRIS_BENCH_QUICK=1 shrinks every dimension for CI; the JSON
+ * schema ("schema": "perf-v1") is understood by scripts/
+ * bench_diff.py, which treats timing changes as warnings but
+ * shard-count or semantics drift as failures.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.hh"
+#include "common/hash.hh"
+#include "common/json.hh"
+#include "engine/compile_cache.hh"
+#include "engine/disk_cache.hh"
+#include "engine/engine.hh"
+#include "serialize/mmap_file.hh"
+
+namespace fs = std::filesystem;
+
+using namespace tetris;
+using namespace tetris::bench;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Well-spread 64-bit keys, as Engine::jobKey would produce. */
+uint64_t
+keyAt(int i)
+{
+    return fnvMix(kFnvOffset, i);
+}
+
+// ---- 1. cache hit throughput ---------------------------------------
+
+struct SweepRow
+{
+    int shards = 0;
+    int threads = 0;
+    uint64_t ops = 0;
+    double seconds = 0.0;
+    double opsPerSec = 0.0;
+    uint64_t lockWaitNs = 0;
+};
+
+/**
+ * Hammer one CompileCache configuration with a pure-hit workload:
+ * every key is pre-published, so each operation is exactly one
+ * shard-mutex acquisition plus a table lookup — the path a warm
+ * sweep's deduplicated submissions take.
+ */
+SweepRow
+runCacheSweep(int shards, int threads, uint64_t ops_per_thread)
+{
+    constexpr int kKeys = 256;
+    CompileCache cache(shards);
+    auto dummy = std::make_shared<const CompileResult>();
+    for (int k = 0; k < kKeys; ++k) {
+        bool is_new = false;
+        auto entry = cache.acquire(keyAt(k), is_new);
+        if (is_new)
+            entry->publish(dummy);
+    }
+
+    std::atomic<bool> go{false};
+    std::atomic<uint64_t> misses{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            // Per-thread stride so threads do not march in lockstep
+            // over the same shard sequence.
+            uint64_t local_misses = 0;
+            for (uint64_t i = 0; i < ops_per_thread; ++i) {
+                int k = static_cast<int>(
+                    (i * 7 + static_cast<uint64_t>(t) * 13) % kKeys);
+                bool is_new = true;
+                cache.acquire(keyAt(k), is_new);
+                if (is_new)
+                    ++local_misses;
+            }
+            misses.fetch_add(local_misses);
+        });
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto &w : workers)
+        w.join();
+    double elapsed = secondsSince(t0);
+
+    if (misses.load() != 0)
+        std::fprintf(stderr,
+                     "warn: hit-only sweep observed %llu misses\n",
+                     static_cast<unsigned long long>(misses.load()));
+
+    SweepRow row;
+    row.shards = cache.shardCount();
+    row.threads = threads;
+    row.ops = ops_per_thread * static_cast<uint64_t>(threads);
+    row.seconds = elapsed;
+    row.opsPerSec =
+        elapsed > 0.0 ? static_cast<double>(row.ops) / elapsed : 0.0;
+    row.lockWaitNs = cache.lockWaitNs();
+    return row;
+}
+
+// ---- 2. artifact load latency --------------------------------------
+
+struct LoadStats
+{
+    uint64_t loads = 0;
+    double avgNs = 0.0;
+};
+
+LoadStats
+timeLoads(const DiskCache &store, const std::vector<uint64_t> &keys,
+          int rounds)
+{
+    LoadStats s;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < rounds; ++r) {
+        for (uint64_t key : keys) {
+            auto result = store.load(key);
+            if (result == nullptr)
+                std::fprintf(stderr,
+                             "warn: unexpected miss for key %llx\n",
+                             static_cast<unsigned long long>(key));
+            ++s.loads;
+        }
+    }
+    double elapsed = secondsSince(t0);
+    s.avgNs = s.loads > 0 ? elapsed * 1e9 / static_cast<double>(s.loads)
+                          : 0.0;
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool quick = quickMode();
+    printBanner("perf microbench",
+                quick ? "caching-path throughput/latency (quick preset)"
+                      : "caching-path throughput/latency (full preset)");
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("artifact").value("perf");
+    w.key("schema").value("perf-v1");
+    w.key("quickMode").value(quick);
+    w.key("hardware_concurrency")
+        .value(static_cast<uint64_t>(
+            std::thread::hardware_concurrency()));
+
+    // ---- 1. in-memory cache: shards x threads sweep ----------------
+    const int default_shards = CompileCache::resolveShardCount(0);
+    std::vector<int> shard_set{1};
+    if (default_shards != 1 && default_shards != 64)
+        shard_set.push_back(default_shards);
+    shard_set.push_back(64);
+    std::vector<int> thread_set =
+        quick ? std::vector<int>{1, 2, 4, 8}
+              : std::vector<int>{1, 2, 4, 8, 16, 32, 64};
+    const uint64_t ops_per_thread = quick ? 20000 : 100000;
+
+    std::printf("cache-hit throughput (%d keys, %llu ops/thread):\n",
+                256, static_cast<unsigned long long>(ops_per_thread));
+    w.key("cache").beginObject();
+    w.key("default_shard_count")
+        .value(static_cast<uint64_t>(default_shards));
+    w.key("sweeps").beginArray();
+    for (int shards : shard_set) {
+        for (int threads : thread_set) {
+            SweepRow row = runCacheSweep(shards, threads,
+                                         ops_per_thread);
+            std::printf(
+                "  shards=%-4d threads=%-3d  %9.2f Mops/s  "
+                "lock-wait %8.3f ms\n",
+                row.shards, row.threads, row.opsPerSec / 1e6,
+                static_cast<double>(row.lockWaitNs) / 1e6);
+            w.beginObject();
+            w.key("shards").value(row.shards);
+            w.key("threads").value(row.threads);
+            w.key("ops").value(row.ops);
+            w.key("seconds").value(row.seconds);
+            w.key("ops_per_sec").value(row.opsPerSec);
+            w.key("lock_wait_ns").value(row.lockWaitNs);
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.endObject();
+
+    // ---- private artifact store for sections 2 and 3 ---------------
+    fs::path store_root =
+        fs::temp_directory_path() /
+        ("tetris-perf-" + std::to_string(::getpid()));
+    std::error_code ec;
+    fs::remove_all(store_root, ec);
+
+    // ---- 2. artifact load latency: cold / warm / buffered ----------
+    {
+        auto store = DiskCache::open(store_root.string());
+        if (store == nullptr) {
+            std::fprintf(stderr,
+                         "fatal: cannot open perf store at %s\n",
+                         store_root.string().c_str());
+            return 1;
+        }
+        const int entries = quick ? 8 : 32;
+        const int warm_rounds = quick ? 8 : 32;
+        CompileResult sample =
+            compileTetris(buildSyntheticUcc(8, 7), lineTopology(12));
+        std::vector<uint64_t> keys;
+        for (int i = 0; i < entries; ++i) {
+            keys.push_back(keyAt(1000 + i));
+            store->store(keys.back(), sample);
+        }
+        uint64_t bytes_total = store->usage().bytes;
+
+        LoadStats cold = timeLoads(*store, keys, 1);
+        LoadStats warm = timeLoads(*store, keys, warm_rounds);
+
+        // Buffered fallback for comparison: the env toggle is read
+        // per load(), so flipping it mid-process is supported.
+        ::setenv("TETRIS_DISK_MMAP", "0", 1);
+        LoadStats buffered = timeLoads(*store, keys, warm_rounds);
+        ::unsetenv("TETRIS_DISK_MMAP");
+
+        std::printf(
+            "\nartifact load (%d entries, %llu bytes):\n"
+            "  cold     %9.0f ns/load\n"
+            "  warm     %9.0f ns/load (mmap)\n"
+            "  buffered %9.0f ns/load (fallback)\n",
+            entries, static_cast<unsigned long long>(bytes_total),
+            cold.avgNs, warm.avgNs, buffered.avgNs);
+
+        w.key("artifact_load").beginObject();
+        w.key("entries").value(static_cast<uint64_t>(entries));
+        w.key("bytes_total").value(bytes_total);
+        w.key("mmap_enabled")
+            .value(serialize::MappedFile::mmapEnabled());
+        w.key("cold").beginObject();
+        w.key("loads").value(cold.loads);
+        w.key("avg_ns").value(cold.avgNs);
+        w.endObject();
+        w.key("warm").beginObject();
+        w.key("loads").value(warm.loads);
+        w.key("avg_ns").value(warm.avgNs);
+        w.endObject();
+        w.key("buffered").beginObject();
+        w.key("loads").value(buffered.loads);
+        w.key("avg_ns").value(buffered.avgNs);
+        w.endObject();
+        w.key("mmap_loads")
+            .value(static_cast<uint64_t>(store->mmapLoads()));
+        w.key("buffered_loads")
+            .value(static_cast<uint64_t>(store->bufferedLoads()));
+        w.endObject();
+        store->clear();
+    }
+
+    // ---- 3. engine-level cold/warm sweep ---------------------------
+    {
+        auto make_jobs = [&] {
+            std::vector<CompileJob> jobs;
+            std::vector<int> sizes =
+                quick ? std::vector<int>{5, 6}
+                      : std::vector<int>{5, 6, 7, 8};
+            auto hw = shareDevice(lineTopology(10));
+            for (int n : sizes) {
+                for (const char *id : {"tetris", "paulihedral"}) {
+                    jobs.push_back(makeJob(
+                        std::string(id) + "/ucc" + std::to_string(n),
+                        buildSyntheticUcc(n, 100 + n), hw,
+                        PipelineRegistry::instance().create(id)));
+                }
+            }
+            return jobs;
+        };
+
+        auto run_engine = [&](const char *label, JsonWriter &out) {
+            EngineOptions opts;
+            opts.diskCache = DiskCache::open(store_root.string());
+            Engine engine(opts);
+            auto t0 = std::chrono::steady_clock::now();
+            engine.compileAll(make_jobs());
+            double elapsed = secondsSince(t0);
+            std::printf("  %-5s %6.3f s  completed=%llu disk_hits=%llu "
+                        "mmap_loads=%llu\n",
+                        label, elapsed,
+                        static_cast<unsigned long long>(
+                            engine.metrics().count("jobs.completed")),
+                        static_cast<unsigned long long>(
+                            engine.metrics().count("jobs.disk_hits")),
+                        static_cast<unsigned long long>(
+                            opts.diskCache->mmapLoads()));
+            out.key(label).beginObject();
+            out.key("seconds").value(elapsed);
+            out.key("completed")
+                .value(engine.metrics().count("jobs.completed"));
+            out.key("disk_hits")
+                .value(engine.metrics().count("jobs.disk_hits"));
+            out.key("writes").value(
+                static_cast<uint64_t>(opts.diskCache->writes()));
+            out.key("mmap_loads").value(
+                static_cast<uint64_t>(opts.diskCache->mmapLoads()));
+            out.key("buffered_loads").value(
+                static_cast<uint64_t>(opts.diskCache->bufferedLoads()));
+            out.key("shard_count")
+                .value(engine.metrics().count("cache.shard_count"));
+            out.key("lock_wait_ns")
+                .value(engine.metrics().count("cache.lock_wait_ns"));
+            out.endObject();
+        };
+
+        std::printf("\nengine cold/warm sweep:\n");
+        w.key("engine").beginObject();
+        run_engine("cold", w);
+        run_engine("warm", w);
+        w.endObject();
+    }
+
+    fs::remove_all(store_root, ec);
+    w.endObject();
+
+    const char *path = "BENCH_perf.json";
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warn: cannot write %s\n", path);
+        return 1;
+    }
+    out << w.str() << "\n";
+    std::printf("[wrote %s]\n", path);
+    return 0;
+}

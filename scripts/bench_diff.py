@@ -10,6 +10,19 @@ regresses when the candidate exceeds the baseline by more than
 --tolerance percent (default 0: any increase counts). Jobs present
 in only one artifact are reported but are not regressions.
 
+Perf trajectories (BENCH_perf.json, "schema": "perf-v1", written by
+bench/perf_microbench) are diffed with different rules, because raw
+timing is machine- and load-dependent:
+  - WARN-only: throughput (ops_per_sec) or latency (avg_ns) moving
+    by more than --tolerance percent in the bad direction;
+  - FAIL: configuration or semantics drift — the (shards, threads)
+    sweep grid changed, the default shard count changed, mmap
+    availability flipped, the warm engine run recompiled anything,
+    or warm hits stopped being served from the store. When the two
+    artifacts report different hardware_concurrency (different
+    machines), the machine-derived checks (grid, shard count, mmap)
+    downgrade to warnings; warm-run semantics always fail hard.
+
 Exit status: 0 = no regressions, 1 = at least one regression,
 2 = bad invocation or unreadable/malformed artifact.
 """
@@ -22,7 +35,17 @@ import sys
 METRICS = ("cnotCount", "totalGateCount", "depth", "swapCount")
 
 
-def load_jobs(path):
+def load_doc(path):
+    """Parse one trajectory artifact, exiting 2 when unreadable."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_diff: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def load_jobs(path, doc):
     """Return {job key: stats dict} from one trajectory artifact.
 
     Display names may repeat within a sweep (e.g. table2 runs each
@@ -30,12 +53,6 @@ def load_jobs(path):
     by submission-order occurrence: "LiH/ph", "LiH/ph#2", ... Both
     artifacts of one bench binary number identically.
     """
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"bench_diff: cannot read {path}: {exc}", file=sys.stderr)
-        sys.exit(2)
     jobs = {}
     seen = {}
     for job in doc.get("jobs", []):
@@ -52,6 +69,111 @@ def load_jobs(path):
               file=sys.stderr)
         sys.exit(2)
     return jobs
+
+
+def sweep_grid(doc):
+    """The (shards, threads) configurations of one perf sweep."""
+    return {
+        (row.get("shards"), row.get("threads"))
+        for row in doc.get("cache", {}).get("sweeps", [])
+    }
+
+
+def diff_perf(base, cand, tolerance):
+    """Diff two perf-v1 trajectories: timing warns, drift fails."""
+    failures = []
+    warnings = []
+    slack = 1.0 + tolerance / 100.0
+
+    # Shard count, the sweep grid, and mmap availability are derived
+    # from the machine. On the *same* hardware a change means a code
+    # or environment drift (fail); across different machines it is
+    # expected (warn), like timing.
+    base_hw = base.get("hardware_concurrency")
+    cand_hw = cand.get("hardware_concurrency")
+    same_machine = base_hw == cand_hw
+    if not same_machine:
+        warnings.append(
+            f"hardware concurrency differs ({base_hw} vs {cand_hw}); "
+            "machine-derived drift checks downgraded to warnings"
+        )
+
+    def drift(message):
+        (failures if same_machine else warnings).append(message)
+
+    # --- configuration / semantics drift -----------------------------
+    base_grid, cand_grid = sweep_grid(base), sweep_grid(cand)
+    if base_grid != cand_grid:
+        drift(
+            "cache sweep grid drifted: "
+            f"baseline {sorted(base_grid)} vs "
+            f"candidate {sorted(cand_grid)}"
+        )
+    base_shards = base.get("cache", {}).get("default_shard_count")
+    cand_shards = cand.get("cache", {}).get("default_shard_count")
+    if base_shards != cand_shards:
+        drift(
+            f"default shard count drifted: {base_shards} -> "
+            f"{cand_shards}"
+        )
+    base_mmap = base.get("artifact_load", {}).get("mmap_enabled")
+    cand_mmap = cand.get("artifact_load", {}).get("mmap_enabled")
+    if base_mmap != cand_mmap:
+        drift(
+            f"mmap availability drifted: {base_mmap} -> {cand_mmap}"
+        )
+    # Warm-run semantics hold on any machine: always hard failures.
+    warm = cand.get("engine", {}).get("warm", {})
+    recompiled = warm.get("completed", 0)
+    if recompiled != 0:
+        failures.append(
+            f"warm engine run recompiled {recompiled} job(s) "
+            "(must be served entirely from the store)"
+        )
+    if warm.get("disk_hits", 0) == 0:
+        failures.append("warm engine run had no disk hits")
+
+    # --- timing: warnings only --------------------------------------
+    cand_rows = {
+        (r.get("shards"), r.get("threads")): r
+        for r in cand.get("cache", {}).get("sweeps", [])
+    }
+    for row in base.get("cache", {}).get("sweeps", []):
+        key = (row.get("shards"), row.get("threads"))
+        other = cand_rows.get(key)
+        if other is None:
+            continue
+        old, new = row.get("ops_per_sec", 0), other.get("ops_per_sec", 0)
+        if old > 0 and new * slack < old:
+            pct = 100.0 * (old - new) / old
+            warnings.append(
+                f"shards={key[0]} threads={key[1]}: throughput "
+                f"{old / 1e6:.2f} -> {new / 1e6:.2f} Mops/s "
+                f"(-{pct:.1f}%)"
+            )
+    for phase in ("cold", "warm", "buffered"):
+        old = base.get("artifact_load", {}).get(phase, {}).get("avg_ns")
+        new = cand.get("artifact_load", {}).get(phase, {}).get("avg_ns")
+        if old and new and new > old * slack:
+            pct = 100.0 * (new - old) / old
+            warnings.append(
+                f"{phase} artifact load {old:.0f} -> {new:.0f} ns "
+                f"(+{pct:.1f}%)"
+            )
+
+    for message in warnings:
+        print(f"perf warning (timing, not failing): {message}")
+    if failures:
+        print(f"PERF DRIFT ({len(failures)} failure(s)):")
+        for message in failures:
+            print(f"  {message}")
+        return 1
+    print(
+        f"OK: perf trajectories consistent "
+        f"({len(warnings)} timing warning(s), "
+        f"tolerance {tolerance:g}%)"
+    )
+    return 0
 
 
 def main():
@@ -72,8 +194,23 @@ def main():
     if args.tolerance < 0:
         parser.error("--tolerance must be >= 0")
 
-    base = load_jobs(args.baseline)
-    cand = load_jobs(args.candidate)
+    base_doc = load_doc(args.baseline)
+    cand_doc = load_doc(args.candidate)
+
+    base_perf = base_doc.get("schema") == "perf-v1"
+    cand_perf = cand_doc.get("schema") == "perf-v1"
+    if base_perf != cand_perf:
+        print(
+            "bench_diff: cannot mix a perf trajectory with a "
+            "job trajectory",
+            file=sys.stderr,
+        )
+        return 2
+    if base_perf:
+        return diff_perf(base_doc, cand_doc, args.tolerance)
+
+    base = load_jobs(args.baseline, base_doc)
+    cand = load_jobs(args.candidate, cand_doc)
 
     regressions = []
     improvements = 0

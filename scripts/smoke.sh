@@ -10,7 +10,9 @@
 # the store and the warm run must recompile nothing (all disk hits).
 # A deliberately corrupted artifact must degrade to a miss, not an
 # error, and scripts/cache_tool.py + scripts/bench_diff.py must
-# operate on the resulting store/trajectories.
+# operate on the resulting store/trajectories. The perf microbench
+# (sharded cache + mmap artifact reads) then runs its quick preset,
+# and its warm engine sweep must also do zero recompiles.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -82,6 +84,34 @@ python3 scripts/cache_tool.py stats --dir "$warm_dir"
 python3 scripts/cache_tool.py trim --dir "$warm_dir" --max-bytes 0
 python3 scripts/cache_tool.py stats --dir "$warm_dir"
 echo "smoke OK: persistent cache cold/warm/corruption cycle passed"
+
+# ---- perf microbench: caching-path throughput/latency -------------
+# Quick preset of the cache/artifact-load/engine microbenchmark. The
+# embedded warm engine sweep must be served entirely from the store
+# (zero recompilations) and, where the platform supports it, through
+# the zero-copy mmap path.
+(cd build && ./perf_microbench)
+python3 - build/BENCH_perf.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "perf-v1", "unexpected perf schema"
+warm = doc["engine"]["warm"]
+assert warm["completed"] == 0, \
+    f"warm microbench recompiled {warm['completed']} job(s)"
+assert warm["disk_hits"] > 0, "warm microbench had no disk hits"
+load = doc["artifact_load"]
+if load["mmap_enabled"]:
+    assert load["mmap_loads"] > 0, "mmap load path not exercised"
+assert load["buffered_loads"] > 0, "buffered fallback not exercised"
+assert doc["cache"]["sweeps"], "empty cache sweep"
+print("smoke OK: warm microbench did zero recompiles "
+      f"({warm['disk_hits']} disk hit(s), "
+      f"{load['mmap_loads']} mmap load(s))")
+EOF
+# A perf trajectory must diff clean against itself.
+python3 scripts/bench_diff.py \
+  build/BENCH_perf.json build/BENCH_perf.json
+echo "smoke OK: perf microbench + perf diff passed"
 
 # ---- semantic verification sweep ----------------------------------
 # Every result of a multi-pipeline molecule sweep (and every QAOA

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Environment-variable parsing helpers.
+ *
+ * The tuning knobs (TETRIS_ENGINE_THREADS, TETRIS_CACHE_SHARDS, ...)
+ * share one strictness contract: the whole value, modulo surrounding
+ * whitespace, must be a decimal integer inside the knob's range, and
+ * anything else is rejected so the caller falls back to its derived
+ * default instead of trusting whatever atoi() would have yielded.
+ */
+
+#ifndef TETRIS_COMMON_ENV_HH
+#define TETRIS_COMMON_ENV_HH
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace tetris
+{
+
+/**
+ * Strict bounded parse of an environment value: the entire string
+ * (leading whitespace per strtol, trailing spaces/tabs tolerated)
+ * must be a decimal integer in [min_value, max_value]. Returns 0 on
+ * anything else — garbage, trailing junk ("8abc"), out-of-range,
+ * overflow — so callers use 0 as the "fall back" sentinel
+ * (min_value must therefore be >= 1).
+ */
+inline int
+parseEnvInt(const char *s, int min_value, int max_value)
+{
+    TETRIS_ASSERT(min_value >= 1, "0 is the rejection sentinel");
+    errno = 0;
+    char *end = nullptr;
+    long n = std::strtol(s, &end, 10);
+    if (end == s || errno == ERANGE)
+        return 0;
+    while (*end == ' ' || *end == '\t')
+        ++end;
+    if (*end != '\0')
+        return 0;
+    if (n < min_value || n > max_value)
+        return 0;
+    return static_cast<int>(n);
+}
+
+} // namespace tetris
+
+#endif // TETRIS_COMMON_ENV_HH

@@ -1,5 +1,10 @@
 #include "engine/compile_cache.hh"
 
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace tetris
@@ -25,12 +30,71 @@ CompileCache::Entry::get() const
     return result_;
 }
 
+namespace
+{
+
+constexpr int kMaxShards = 1024;
+
+/** Smallest power of two >= n, clamped to [1, kMaxShards]. */
+int
+nextPowerOfTwo(unsigned n)
+{
+    int p = 1;
+    while (p < kMaxShards && static_cast<unsigned>(p) < n)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+int
+CompileCache::resolveShardCount(int requested)
+{
+    if (requested > 0)
+        return requested > kMaxShards ? kMaxShards : requested;
+    if (const char *env = std::getenv("TETRIS_CACHE_SHARDS")) {
+        if (int n = parseEnvInt(env, 1, kMaxShards))
+            return n;
+        warn("ignoring invalid TETRIS_CACHE_SHARDS='", env,
+             "' (want an integer in [1, 1024]); deriving from "
+             "hardware concurrency");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return nextPowerOfTwo(hw == 0 ? 1 : hw);
+}
+
+CompileCache::CompileCache(int num_shards)
+    : numShards_(resolveShardCount(num_shards)),
+      shards_(new Shard[static_cast<size_t>(numShards_)])
+{
+}
+
+std::unique_lock<std::mutex>
+CompileCache::lockShard(const Shard &shard) const
+{
+    std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        // Contended: time the blocked wait only, so the common
+        // uncontended acquisition stays two instructions.
+        auto t0 = std::chrono::steady_clock::now();
+        lock.lock();
+        lockWaitNs_.fetch_add(
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()),
+            std::memory_order_relaxed);
+    }
+    return lock;
+}
+
 std::shared_ptr<CompileCache::Entry>
 CompileCache::acquire(uint64_t key, bool &is_new)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    Shard &shard = shardFor(key);
+    auto lock = lockShard(shard);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
         is_new = false;
         hits_.fetch_add(1);
         return it->second;
@@ -38,31 +102,39 @@ CompileCache::acquire(uint64_t key, bool &is_new)
     is_new = true;
     misses_.fetch_add(1);
     auto entry = std::make_shared<Entry>();
-    entries_.emplace(key, entry);
+    shard.entries.emplace(key, entry);
     return entry;
 }
 
 size_t
 CompileCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.size();
+    size_t total = 0;
+    for (int i = 0; i < numShards_; ++i) {
+        auto lock = lockShard(shards_[i]);
+        total += shards_[i].entries.size();
+    }
+    return total;
 }
 
 void
 CompileCache::erase(uint64_t key)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    entries_.erase(key);
+    Shard &shard = shardFor(key);
+    auto lock = lockShard(shard);
+    shard.entries.erase(key);
 }
 
 void
 CompileCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    entries_.clear();
+    for (int i = 0; i < numShards_; ++i) {
+        auto lock = lockShard(shards_[i]);
+        shards_[i].entries.clear();
+    }
     hits_.store(0);
     misses_.store(0);
+    lockWaitNs_.store(0);
 }
 
 } // namespace tetris

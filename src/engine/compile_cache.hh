@@ -8,6 +8,18 @@
  * the result while concurrent submitters of the same key block on the
  * shared Entry instead of recompiling. Results are immutable once
  * published (shared_ptr<const CompileResult>).
+ *
+ * The table is striped across N independently-locked shards (key
+ * modulo shard count — jobKey output is already well mixed) so
+ * lookups from many worker threads do not serialize behind a single
+ * mutex. All dedup guarantees hold per key, and a key always maps to
+ * exactly one shard, so sharding never changes observable semantics:
+ * exactly one acquire() per key reports is_new, erase() targets the
+ * one shard that can hold the key, and hit/miss accounting stays
+ * global. Contention that does occur is measured: lockWaitNs() sums
+ * the time threads spent blocked on shard mutexes (uncontended
+ * acquisitions cost no clock reads), which the perf microbench and
+ * the cache.lock_wait_ns metric expose.
  */
 
 #ifndef TETRIS_ENGINE_COMPILE_CACHE_HH
@@ -49,6 +61,13 @@ class CompileCache
     };
 
     /**
+     * Build a cache striped over resolveShardCount(num_shards)
+     * shards; the default resolves TETRIS_CACHE_SHARDS / hardware
+     * concurrency.
+     */
+    explicit CompileCache(int num_shards = 0);
+
+    /**
      * Look up `key`, inserting an unpublished Entry if absent.
      * `is_new` tells the caller whether it must compute and publish
      * (miss) or merely wait on the returned entry (hit — including
@@ -66,12 +85,45 @@ class CompileCache
      */
     void erase(uint64_t key);
 
-    /** Drop all entries and reset the hit/miss counters. */
+    /** Drop all entries and reset the hit/miss/lock-wait counters. */
     void clear();
 
+    int shardCount() const { return numShards_; }
+
+    /**
+     * Total nanoseconds threads spent blocked acquiring shard
+     * mutexes. Only contended acquisitions are timed, so the hot
+     * uncontended path pays no clock reads.
+     */
+    uint64_t lockWaitNs() const { return lockWaitNs_.load(); }
+
+    /**
+     * Resolve a shard-count request: a positive request wins;
+     * otherwise the TETRIS_CACHE_SHARDS environment variable
+     * (strict integer in [1, 1024], anything else warns and falls
+     * through); otherwise hardware concurrency rounded up to the
+     * next power of two. Always in [1, 1024].
+     */
+    static int resolveShardCount(int requested);
+
   private:
-    mutable std::mutex mutex_;
-    std::unordered_map<uint64_t, std::shared_ptr<Entry>> entries_;
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<uint64_t, std::shared_ptr<Entry>> entries;
+    };
+
+    Shard &shardFor(uint64_t key) const
+    {
+        return shards_[key % static_cast<uint64_t>(numShards_)];
+    }
+
+    /** Lock a shard, accumulating blocked time into lockWaitNs_. */
+    std::unique_lock<std::mutex> lockShard(const Shard &shard) const;
+
+    int numShards_;
+    std::unique_ptr<Shard[]> shards_;
+    mutable std::atomic<uint64_t> lockWaitNs_{0};
     std::atomic<size_t> hits_{0};
     std::atomic<size_t> misses_{0};
 };

@@ -12,6 +12,7 @@
 
 #include "common/logging.hh"
 #include "serialize/artifact.hh"
+#include "serialize/mmap_file.hh"
 
 namespace fs = std::filesystem;
 
@@ -150,28 +151,23 @@ std::shared_ptr<const CompileResult>
 DiskCache::load(uint64_t key) const
 {
     fs::path path = pathFor(key);
-    std::string bytes;
-    {
-        std::ifstream in(path, std::ios::binary);
-        if (!in) {
-            misses_.fetch_add(1);
-            return nullptr;
-        }
-        bytes.assign(std::istreambuf_iterator<char>(in),
-                     std::istreambuf_iterator<char>());
-        if (!in.good() && !in.eof()) {
-            misses_.fetch_add(1);
-            return nullptr;
-        }
+    // Zero-copy read: the artifact's bytes are decoded directly out
+    // of the mapped file (or the fallback buffer), never staged
+    // through an intermediate string.
+    serialize::MappedFile file = serialize::MappedFile::open(path.string());
+    if (!file.valid()) {
+        misses_.fetch_add(1);
+        return nullptr;
     }
     auto result = std::make_shared<CompileResult>();
-    if (!serialize::decodeArtifact(bytes, key, *result)) {
+    if (!serialize::decodeArtifact(file.span(), key, *result)) {
         // Corruption of any kind is a miss: the caller recompiles and
         // the subsequent store() overwrites the bad file.
         misses_.fetch_add(1);
         return nullptr;
     }
     hits_.fetch_add(1);
+    (file.isMapped() ? mmapLoads_ : bufferedLoads_).fetch_add(1);
     std::error_code ec;
     fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
     return result;

@@ -8,7 +8,8 @@ namespace tetris
 {
 
 Engine::Engine(EngineOptions opts)
-    : opts_(opts), pool_(ThreadPool::resolveThreadCount(opts.numThreads))
+    : opts_(opts), cache_(opts.cacheShards),
+      pool_(ThreadPool::resolveThreadCount(opts.numThreads))
 {
 }
 
@@ -62,7 +63,7 @@ Engine::reportDone(const std::string &name)
     opts_.onJobDone(finished_, submitted_, name);
 }
 
-void
+VerifyStatus
 Engine::verifyJob(const CompileJob &job, const CompileResult &result)
 {
     ScopedTimer timer(metrics_, "verify.seconds");
@@ -81,6 +82,7 @@ Engine::verifyJob(const CompileJob &job, const CompileResult &result)
         metrics_.addCount("verify.skipped");
         break;
     }
+    return report.status;
 }
 
 void
@@ -122,8 +124,11 @@ Engine::runJob(const CompileJob &job, uint64_t key,
     CompileResult result = job.pipeline->run(job.blocks, *job.hw);
     metrics_.recordCompile(result.stats);
     metrics_.addCount("jobs.completed");
+    // Verify-on-write: the verdict is taken *before* the artifact can
+    // reach the disk tier, so a miscompile never lands in the store.
+    bool verify_failed = false;
     if (opts_.verify)
-        verifyJob(job, result);
+        verify_failed = verifyJob(job, result) == VerifyStatus::Fail;
     // Report before publishing: once the entry publishes, waiters
     // (compileAll callers) may proceed, and every callback for their
     // jobs must already have returned.
@@ -132,8 +137,15 @@ Engine::runJob(const CompileJob &job, uint64_t key,
     entry->publish(shared);
     // Write-behind: persist after publishing so waiters never block
     // on disk I/O.
-    if (opts_.diskCache)
-        opts_.diskCache->store(key, *shared);
+    if (opts_.diskCache) {
+        if (verify_failed && opts_.verifyBeforeStore) {
+            metrics_.addCount("verify.blocked_write");
+            warn("verify: not persisting failed compilation [",
+                 job.name, "]");
+        } else {
+            opts_.diskCache->store(key, *shared);
+        }
+    }
 }
 
 Engine::JobId
@@ -187,6 +199,20 @@ Engine::wait(JobId id)
     return entry->get();
 }
 
+void
+Engine::syncCacheMetrics()
+{
+    metrics_.setCount("cache.shard_count",
+                      static_cast<uint64_t>(cache_.shardCount()));
+    metrics_.setCount("cache.lock_wait_ns", cache_.lockWaitNs());
+    if (opts_.diskCache) {
+        metrics_.setCount("cache.disk.mmap_loads",
+                          opts_.diskCache->mmapLoads());
+        metrics_.setCount("cache.disk.buffered_loads",
+                          opts_.diskCache->bufferedLoads());
+    }
+}
+
 std::vector<std::shared_ptr<const CompileResult>>
 Engine::compileAll(std::vector<CompileJob> jobs)
 {
@@ -199,6 +225,7 @@ Engine::compileAll(std::vector<CompileJob> jobs)
     results.reserve(ids.size());
     for (JobId id : ids)
         results.push_back(wait(id));
+    syncCacheMetrics();
     return results;
 }
 

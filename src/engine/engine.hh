@@ -17,7 +17,10 @@
  * alias.
  *
  * Thread count defaults to TETRIS_ENGINE_THREADS, falling back to
- * hardware concurrency (see ThreadPool::resolveThreadCount).
+ * hardware concurrency (see ThreadPool::resolveThreadCount). The
+ * in-memory cache is striped across TETRIS_CACHE_SHARDS
+ * independently-locked shards (CompileCache::resolveShardCount) so
+ * high-thread-count sweeps do not serialize on one mutex.
  *
  * Below the in-memory cache an optional DiskCache (engine/
  * disk_cache.hh) persists results across processes: in-memory misses
@@ -73,6 +76,12 @@ struct EngineOptions
     /** Deduplicate identical jobs through the compile cache. */
     bool enableCache = true;
     /**
+     * Mutex stripes of the in-memory compile cache; 0 resolves
+     * TETRIS_CACHE_SHARDS, falling back to hardware concurrency
+     * (see CompileCache::resolveShardCount).
+     */
+    int cacheShards = 0;
+    /**
      * Persistent tier under the in-memory cache; null = disabled
      * (the default, so unit tests never touch the filesystem).
      * Wire the environment-configured store in with
@@ -93,6 +102,15 @@ struct EngineOptions
     bool verify = false;
     /** Checker knobs used when `verify` is set. */
     VerifyOptions verifyOptions;
+    /**
+     * When the verify pass is on, gate the disk tier on its verdict:
+     * a compilation whose verification *fails* is still published to
+     * its waiters (flagged by the warn + verify.fail metric) but is
+     * never persisted, so a bad compile cannot poison the store and
+     * get served to later runs. Each blocked persist counts as
+     * verify.blocked_write. No effect unless `verify` is set.
+     */
+    bool verifyBeforeStore = true;
     /**
      * Progress hook: called once per submission when its work is
      * finished -- after the compilation for fresh jobs, immediately
@@ -146,10 +164,28 @@ class Engine
     /** True once cancelPending() has been called. */
     bool cancelRequested() const { return cancel_.load(); }
 
+    /**
+     * Block until every submitted job's work has fully finished.
+     * wait()/compileAll() return as results publish; drain()
+     * additionally covers the write-behind disk persists that run
+     * after a result publishes (the destructor drains implicitly).
+     */
+    void drain() { pool_.waitIdle(); }
+
     int numThreads() const { return pool_.numThreads(); }
     /** True when this engine runs the verify pass on its results. */
     bool verifyEnabled() const { return opts_.verify; }
     const CompileCache &cache() const { return cache_; }
+
+    /**
+     * Publish the cache's gauge-style counters into the metrics
+     * registry: cache.shard_count, cache.lock_wait_ns, and — when a
+     * disk tier is attached — cache.disk.mmap_loads /
+     * cache.disk.buffered_loads. Called automatically at the end of
+     * compileAll(); call it directly before reading metrics() after
+     * bare submit()/wait() traffic.
+     */
+    void syncCacheMetrics();
     /** The persistent tier, or null when disabled. */
     const DiskCache *diskCache() const;
     MetricsRegistry &metrics() { return metrics_; }
@@ -170,7 +206,8 @@ class Engine
   private:
     void runJob(const CompileJob &job, uint64_t key,
                 const std::shared_ptr<CompileCache::Entry> &entry);
-    void verifyJob(const CompileJob &job, const CompileResult &result);
+    VerifyStatus verifyJob(const CompileJob &job,
+                           const CompileResult &result);
     void reportDone(const std::string &name);
 
     EngineOptions opts_;

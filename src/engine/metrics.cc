@@ -14,6 +14,13 @@ MetricsRegistry::addCount(const std::string &name, uint64_t delta)
 }
 
 void
+MetricsRegistry::setCount(const std::string &name, uint64_t value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counts_[name] = value;
+}
+
+void
 MetricsRegistry::addSeconds(const std::string &name, double seconds)
 {
     std::lock_guard<std::mutex> lock(mutex_);

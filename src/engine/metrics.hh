@@ -31,6 +31,13 @@ class MetricsRegistry
     /** Add to a named monotonic counter (creates it at 0). */
     void addCount(const std::string &name, uint64_t delta = 1);
 
+    /**
+     * Set a named counter to an absolute value (gauge semantics).
+     * Used to publish snapshots of externally-accumulated state,
+     * e.g. the cache's shard count and lock-wait total.
+     */
+    void setCount(const std::string &name, uint64_t value);
+
     /** Accumulate seconds on a named timer (creates it at 0). */
     void addSeconds(const std::string &name, double seconds);
 

@@ -1,8 +1,8 @@
 #include "engine/thread_pool.hh"
 
-#include <cerrno>
 #include <cstdlib>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace tetris
@@ -73,43 +73,13 @@ ThreadPool::workerLoop()
     }
 }
 
-namespace
-{
-
-/**
- * Strict thread-count parse: the whole string (modulo leading and
- * trailing whitespace) must be a decimal integer in [1, 4096].
- * Returns 0 on anything else -- garbage, trailing junk ("8abc"),
- * negatives, zero, overflow -- so the caller falls back instead of
- * trusting whatever atoi() would have yielded.
- */
-int
-parseThreadCount(const char *s)
-{
-    errno = 0;
-    char *end = nullptr;
-    long n = std::strtol(s, &end, 10);
-    if (end == s || errno == ERANGE)
-        return 0;
-    while (*end == ' ' || *end == '\t')
-        ++end;
-    if (*end != '\0')
-        return 0;
-    constexpr long kMaxThreads = 4096;
-    if (n < 1 || n > kMaxThreads)
-        return 0;
-    return static_cast<int>(n);
-}
-
-} // namespace
-
 int
 ThreadPool::resolveThreadCount(int requested)
 {
     if (requested > 0)
         return requested;
     if (const char *env = std::getenv("TETRIS_ENGINE_THREADS")) {
-        if (int n = parseThreadCount(env))
+        if (int n = parseEnvInt(env, 1, 4096))
             return n;
         warn("ignoring invalid TETRIS_ENGINE_THREADS='", env,
              "' (want an integer in [1, 4096]); using hardware "

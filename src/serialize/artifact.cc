@@ -187,7 +187,7 @@ encodeArtifact(uint64_t job_key, const CompileResult &result)
 }
 
 bool
-decodeArtifact(std::string_view bytes, uint64_t expected_key,
+decodeArtifact(ByteSpan bytes, uint64_t expected_key,
                CompileResult &result)
 {
     BinaryReader file(bytes);

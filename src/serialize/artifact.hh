@@ -57,9 +57,11 @@ std::string encodeArtifact(uint64_t job_key, const CompileResult &result);
  * stored job key (a renamed/aliased file never serves the wrong
  * compilation). Returns false — never throws, never aborts — unless
  * every check (magic, version, key, length, checksum, payload
- * structure) passes.
+ * structure) passes. The bytes are only borrowed (zero-copy): they
+ * may live in an mmap'ed file (serialize/mmap_file.hh) and are never
+ * written to.
  */
-bool decodeArtifact(std::string_view bytes, uint64_t expected_key,
+bool decodeArtifact(ByteSpan bytes, uint64_t expected_key,
                     CompileResult &result);
 
 } // namespace tetris::serialize

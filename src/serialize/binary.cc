@@ -118,13 +118,13 @@ BinaryReader::str()
     return std::string(p, static_cast<size_t>(n));
 }
 
-std::string_view
+ByteSpan
 BinaryReader::view(size_t n)
 {
     const char *p = nullptr;
     if (!take(n, p))
-        return std::string_view();
-    return std::string_view(p, n);
+        return ByteSpan();
+    return ByteSpan(p, n);
 }
 
 } // namespace tetris::serialize

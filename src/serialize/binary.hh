@@ -9,6 +9,11 @@
  * and subsequent reads return zero values, so callers validate one
  * ok() check at the end instead of guarding every field — corrupt
  * input degrades to "decode failed", never to UB or an abort.
+ *
+ * The reader decodes over a borrowed ByteSpan and never copies the
+ * underlying buffer, so it works equally over an in-memory string
+ * and over an mmap'ed artifact (serialize/mmap_file.hh): the bytes
+ * of a .tca file are decoded straight out of the page cache.
  */
 
 #ifndef TETRIS_SERIALIZE_BINARY_HH
@@ -20,6 +25,13 @@
 
 namespace tetris::serialize
 {
+
+/**
+ * A borrowed, non-owning view of raw bytes. Decoders taking a
+ * ByteSpan promise zero-copy access: the caller keeps the backing
+ * storage (string, mapped file) alive for the duration of the call.
+ */
+using ByteSpan = std::string_view;
 
 /** Append-only little-endian encoder over a growable byte string. */
 class BinaryWriter
@@ -46,7 +58,7 @@ class BinaryWriter
 class BinaryReader
 {
   public:
-    explicit BinaryReader(std::string_view data) : data_(data) {}
+    explicit BinaryReader(ByteSpan data) : data_(data) {}
 
     uint8_t u8();
     uint32_t u32();
@@ -67,12 +79,12 @@ class BinaryReader
      * Borrow the next n bytes without copying; empty view + fail on
      * overrun. Used to checksum a payload in place.
      */
-    std::string_view view(size_t n);
+    ByteSpan view(size_t n);
 
   private:
     bool take(size_t n, const char *&p);
 
-    std::string_view data_;
+    ByteSpan data_;
     size_t pos_ = 0;
     bool ok_ = true;
 };

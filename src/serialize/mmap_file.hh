@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Read-only memory-mapped file with a buffered-read fallback.
+ *
+ * The zero-copy half of the artifact read path: DiskCache::load maps
+ * a .tca file and hands its bytes straight to decodeArtifact as a
+ * ByteSpan, so a warm cache hit decodes out of the page cache with no
+ * intermediate std::string copy. When mmap is unavailable — non-POSIX
+ * platform, a filesystem that refuses the map, or TETRIS_DISK_MMAP=0
+ * — open() silently degrades to reading the file into an internal
+ * buffer; span() is valid either way and isMapped() tells the two
+ * apart (DiskCache reports them as separate load counters).
+ *
+ * Safety notes:
+ *  - the mapping is private and read-only; a concurrent writer using
+ *    DiskCache's temp-file + atomic-rename protocol never mutates
+ *    the bytes under a live map (the old inode stays alive until the
+ *    last mapping drops);
+ *  - a file truncated *in place* after mapping could SIGBUS on
+ *    access, which is why the store never truncates artifacts — it
+ *    only ever replaces them whole via rename or unlinks them;
+ *  - zero-length files are valid with an empty span and no mapping
+ *    (mmap rejects length 0), which downstream decoding rejects as
+ *    any other malformed artifact.
+ */
+
+#ifndef TETRIS_SERIALIZE_MMAP_FILE_HH
+#define TETRIS_SERIALIZE_MMAP_FILE_HH
+
+#include <string>
+
+#include "serialize/binary.hh"
+
+namespace tetris::serialize
+{
+
+class MappedFile
+{
+  public:
+    /** An invalid (empty) file; open() is the real constructor. */
+    MappedFile() = default;
+
+    ~MappedFile() { reset(); }
+
+    MappedFile(MappedFile &&other) noexcept { *this = std::move(other); }
+    MappedFile &operator=(MappedFile &&other) noexcept;
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /**
+     * Open `path` read-only: mmap when possible, buffered read
+     * otherwise. Returns an invalid MappedFile when the file cannot
+     * be opened or read (never throws).
+     */
+    static MappedFile open(const std::string &path);
+
+    /** True when the file was opened and its bytes are accessible. */
+    bool valid() const { return valid_; }
+
+    /** The file's bytes; empty when !valid() or the file is empty. */
+    ByteSpan span() const;
+
+    /** True when span() points into an mmap, not the fallback buffer. */
+    bool isMapped() const { return addr_ != nullptr; }
+
+    /**
+     * True when this build can mmap and TETRIS_DISK_MMAP is not "0".
+     * Checked per open() so tests can toggle the variable at runtime.
+     */
+    static bool mmapEnabled();
+
+  private:
+    void reset();
+
+    void *addr_ = nullptr; // non-null only for a live mapping
+    size_t len_ = 0;
+    std::string buffer_; // fallback storage when not mapped
+    bool valid_ = false;
+};
+
+} // namespace tetris::serialize
+
+#endif // TETRIS_SERIALIZE_MMAP_FILE_HH

@@ -3,15 +3,19 @@
  * DiskCache tests: store/load round-trips through the sharded .tca
  * layout, the hardened directory handling (creation, empty paths,
  * unwritable roots degrade to disabled), environment configuration,
- * corruption-as-miss semantics, LRU-by-mtime trim, engine
- * integration (warm runs skip compilation entirely, teardown applies
- * the eviction budget), and two engines hammering one shared store
- * concurrently.
+ * corruption-as-miss semantics, the zero-copy mmap read path (warm
+ * hits metric-asserted through mmap, TETRIS_DISK_MMAP=0 exercising
+ * the buffered fallback), verify-before-store (a miscompile never
+ * lands on disk; verify.blocked_write accounting), LRU-by-mtime
+ * trim, engine integration (warm runs skip compilation entirely,
+ * teardown applies the eviction budget), and two engines hammering
+ * one shared store concurrently.
  */
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -21,6 +25,7 @@
 #include "engine/disk_cache.hh"
 #include "engine/engine.hh"
 #include "hardware/topologies.hh"
+#include "serialize/mmap_file.hh"
 
 namespace fs = std::filesystem;
 
@@ -76,6 +81,9 @@ TEST_F(DiskCacheTest, StoreLoadRoundTripThroughShardedLayout)
     auto loaded = cache->load(key);
     ASSERT_NE(loaded, nullptr);
     EXPECT_EQ(cache->hits(), 1u);
+    // POSIX test hosts serve hits zero-copy through the mmap path.
+    EXPECT_EQ(cache->mmapLoads(),
+              serialize::MappedFile::mmapEnabled() ? 1u : 0u);
     EXPECT_EQ(loaded->stats.cnotCount, result.stats.cnotCount);
     EXPECT_EQ(loaded->stats.depth, result.stats.depth);
     EXPECT_EQ(loaded->circuit.totalGateCount(),
@@ -264,6 +272,159 @@ TEST_F(DiskCacheTest, EngineWarmRunSkipsCompilationEntirely)
         EXPECT_EQ(warm[i]->finalLayout, cold[i]->finalLayout);
         EXPECT_EQ(warm[i]->blockOrder, cold[i]->blockOrder);
     }
+
+    // Every warm hit went through the zero-copy mmap path, and the
+    // engine published that into its metrics registry.
+    if (serialize::MappedFile::mmapEnabled()) {
+        EXPECT_EQ(opts.diskCache->mmapLoads(), 3u);
+        EXPECT_EQ(opts.diskCache->bufferedLoads(), 0u);
+        EXPECT_EQ(engine.metrics().count("cache.disk.mmap_loads"), 3u);
+    }
+}
+
+TEST_F(DiskCacheTest, BufferedFallbackServesWarmRunWhenMmapDisabled)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(10));
+    CompileJob job;
+    job.name = "fallback";
+    job.blocks = buildSyntheticUcc(6, 77);
+    job.hw = hw;
+
+    {
+        EngineOptions opts;
+        opts.numThreads = 2;
+        opts.diskCache = DiskCache::open(root_.string());
+        ASSERT_NE(opts.diskCache, nullptr);
+        Engine engine(opts);
+        engine.wait(engine.submit(job));
+    }
+
+    // TETRIS_DISK_MMAP=0: same store, same artifacts, but every hit
+    // must be served by the buffered-read fallback.
+    ::setenv("TETRIS_DISK_MMAP", "0", 1);
+    EngineOptions opts;
+    opts.numThreads = 2;
+    opts.diskCache = DiskCache::open(root_.string());
+    Engine engine(opts);
+    auto warm = engine.wait(engine.submit(job));
+    ::unsetenv("TETRIS_DISK_MMAP");
+
+    ASSERT_NE(warm, nullptr);
+    EXPECT_EQ(engine.metrics().count("jobs.completed"), 0u);
+    EXPECT_EQ(engine.metrics().count("jobs.disk_hits"), 1u);
+    EXPECT_EQ(opts.diskCache->mmapLoads(), 0u);
+    EXPECT_EQ(opts.diskCache->bufferedLoads(), 1u);
+}
+
+/**
+ * A deliberately wrong compiler: compiles for real, then flips one
+ * rotation's sign — exactly the class of miscompile the verifier's
+ * mutation matrix proves both checkers reject.
+ */
+class MiscompilingPipeline final : public Pipeline
+{
+  public:
+    const std::string &name() const override
+    {
+        static const std::string id = "test-miscompile";
+        return id;
+    }
+
+    CompileResult
+    run(const std::vector<PauliBlock> &blocks,
+        const CouplingGraph &hw) const override
+    {
+        CompileResult res = compileTetris(blocks, hw);
+        Circuit circ(res.circuit.numQubits());
+        bool flipped = false;
+        for (Gate g : res.circuit.gates()) {
+            if (!flipped && g.kind == GateKind::RZ &&
+                std::abs(g.angle) > 0.05) {
+                g.angle = -g.angle;
+                flipped = true;
+            }
+            circ.add(g);
+        }
+        res.circuit = std::move(circ);
+        return res;
+    }
+
+    uint64_t optionsHash() const override { return 0xbadc0de; }
+};
+
+TEST_F(DiskCacheTest, VerifyBeforeStoreKeepsBadCompilesOffDisk)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+    CompileJob job;
+    job.name = "miscompiled";
+    job.blocks = buildSyntheticUcc(6, 21);
+    job.hw = hw;
+    job.pipeline = std::make_shared<MiscompilingPipeline>();
+    const uint64_t key = Engine::jobKey(job);
+
+    auto disk = DiskCache::open(root_.string());
+    ASSERT_NE(disk, nullptr);
+    {
+        EngineOptions opts;
+        opts.numThreads = 2;
+        opts.diskCache = disk;
+        opts.verify = true; // verifyBeforeStore defaults to true
+        Engine engine(opts);
+        auto result = engine.wait(engine.submit(job));
+        // The bad result is still published to its waiters...
+        ASSERT_NE(result, nullptr);
+        EXPECT_GT(result->stats.totalGateCount, 0u);
+    }
+    // ...but never reached the store (write-behind settles by
+    // engine teardown).
+    EXPECT_EQ(disk->writes(), 0u);
+    EXPECT_EQ(disk->load(key), nullptr);
+
+    // Opting out (verifyBeforeStore = false) restores the old
+    // behavior: the artifact lands despite the failed verification.
+    {
+        EngineOptions opts;
+        opts.numThreads = 2;
+        opts.diskCache = disk;
+        opts.verify = true;
+        opts.verifyBeforeStore = false;
+        Engine engine(opts);
+        engine.wait(engine.submit(job));
+    }
+    EXPECT_EQ(disk->writes(), 1u);
+    EXPECT_NE(disk->load(key), nullptr);
+}
+
+TEST_F(DiskCacheTest, VerifyBeforeStoreCountsBlockedWrites)
+{
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(8));
+    CompileJob bad;
+    bad.name = "blocked";
+    bad.blocks = buildSyntheticUcc(6, 22);
+    bad.hw = hw;
+    bad.pipeline = std::make_shared<MiscompilingPipeline>();
+    CompileJob good;
+    good.name = "clean";
+    good.blocks = buildSyntheticUcc(6, 23);
+    good.hw = hw;
+
+    auto disk = DiskCache::open(root_.string());
+    ASSERT_NE(disk, nullptr);
+    EngineOptions opts;
+    opts.numThreads = 2;
+    opts.diskCache = disk;
+    opts.verify = true;
+    Engine engine(opts);
+    engine.compileAll({bad, good});
+    engine.drain(); // write-behind persists settle
+
+    EXPECT_EQ(engine.metrics().count("verify.fail"), 1u);
+    EXPECT_EQ(engine.metrics().count("verify.pass"), 1u);
+    EXPECT_EQ(engine.metrics().count("verify.blocked_write"), 1u);
+    // Exactly the clean job was persisted.
+    EXPECT_EQ(disk->usage().entries, 1u);
+    EXPECT_NE(disk->load(Engine::jobKey(good)), nullptr);
+    EXPECT_EQ(disk->load(Engine::jobKey(bad)), nullptr);
 }
 
 TEST_F(DiskCacheTest, EngineTeardownAppliesEvictionBudget)

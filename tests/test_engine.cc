@@ -3,16 +3,19 @@
  * Batch-engine tests: parallel-vs-serial determinism, registry
  * dispatch against the direct entry points, compile-cache hit/miss
  * accounting, in-flight dedup and cross-pipeline key separation,
- * progress reporting, thread-pool stress, the single-thread
- * fallback, the hardened TETRIS_ENGINE_THREADS knob, JSON
- * serialization of stats and metrics, and cancellation of pending
- * jobs. (The persistent disk tier has its own suite in
- * test_disk_cache.cc.)
+ * the sharded cache (TETRIS_CACHE_SHARDS resolution, multi-thread
+ * contention stress across shard counts {1, 4, 64}, dedup
+ * invariance under sharding), progress reporting, thread-pool
+ * stress, the single-thread fallback, the hardened
+ * TETRIS_ENGINE_THREADS knob, JSON serialization of stats and
+ * metrics, and cancellation of pending jobs. (The persistent disk
+ * tier has its own suite in test_disk_cache.cc.)
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -143,6 +146,151 @@ TEST(ThreadPool, ResolveThreadCountRejectsGarbage)
     ::setenv("TETRIS_ENGINE_THREADS", "garbage", 1);
     EXPECT_EQ(ThreadPool::resolveThreadCount(2), 2);
     ::unsetenv("TETRIS_ENGINE_THREADS");
+}
+
+TEST(CompileCache, ResolveShardCountHonorsEnvAndRejectsGarbage)
+{
+    ::unsetenv("TETRIS_CACHE_SHARDS");
+    const int fallback = CompileCache::resolveShardCount(0);
+    EXPECT_GE(fallback, 1);
+    EXPECT_LE(fallback, 1024);
+    // The derived default is a power of two (shard index = key mod N
+    // stays cheap and evenly spread).
+    EXPECT_EQ(fallback & (fallback - 1), 0);
+
+    ::setenv("TETRIS_CACHE_SHARDS", "6", 1);
+    EXPECT_EQ(CompileCache::resolveShardCount(0), 6);
+    ::setenv("TETRIS_CACHE_SHARDS", " 128 ", 1);
+    EXPECT_EQ(CompileCache::resolveShardCount(0), 128);
+    ::setenv("TETRIS_CACHE_SHARDS", "1024", 1);
+    EXPECT_EQ(CompileCache::resolveShardCount(0), 1024);
+
+    for (const char *bad : {"garbage", "8abc", "-3", "0", "2.5", "",
+                            "1025", "99999999999999999999", "0x10"}) {
+        ::setenv("TETRIS_CACHE_SHARDS", bad, 1);
+        EXPECT_EQ(CompileCache::resolveShardCount(0), fallback)
+            << "env='" << bad << "'";
+    }
+
+    // An explicit request beats the environment and is clamped.
+    ::setenv("TETRIS_CACHE_SHARDS", "2", 1);
+    EXPECT_EQ(CompileCache::resolveShardCount(7), 7);
+    EXPECT_EQ(CompileCache::resolveShardCount(5000), 1024);
+    ::unsetenv("TETRIS_CACHE_SHARDS");
+}
+
+TEST(CompileCache, ShardedContentionStressLosesNothing)
+{
+    // The sharding invariant under fire: for every key, exactly one
+    // acquire() across all threads reports is_new (one compilation,
+    // never zero, never two), and every hit observes the value its
+    // owner published — across shard counts spanning one-mutex to
+    // more-shards-than-keys.
+    for (int shards : {1, 4, 64}) {
+        CompileCache cache(shards);
+        EXPECT_EQ(cache.shardCount(), shards);
+
+        constexpr int kThreads = 8;
+        constexpr int kKeys = 96;
+        constexpr int kOpsPerThread = 3000;
+        std::array<std::atomic<int>, kKeys> owners{};
+        std::atomic<bool> go{false};
+        std::atomic<int> mismatches{0};
+
+        std::vector<std::thread> workers;
+        for (int t = 0; t < kThreads; ++t) {
+            workers.emplace_back([&, t] {
+                while (!go.load()) {
+                }
+                for (int i = 0; i < kOpsPerThread; ++i) {
+                    const int k = (i * 17 + t * 31) % kKeys;
+                    const uint64_t key =
+                        0x9e3779b97f4a7c15ull * (k + 1);
+                    bool is_new = false;
+                    auto entry = cache.acquire(key, is_new);
+                    if (is_new) {
+                        owners[k].fetch_add(1);
+                        auto result =
+                            std::make_shared<CompileResult>();
+                        // Tag the payload with its key so readers can
+                        // detect cross-key mixups.
+                        result->stats.cnotCount =
+                            static_cast<uint64_t>(k);
+                        entry->publish(std::move(result));
+                    } else {
+                        auto result = entry->get();
+                        if (result->stats.cnotCount !=
+                            static_cast<uint64_t>(k)) {
+                            mismatches.fetch_add(1);
+                        }
+                    }
+                }
+            });
+        }
+        go.store(true);
+        for (auto &w : workers)
+            w.join();
+
+        for (int k = 0; k < kKeys; ++k)
+            EXPECT_EQ(owners[k].load(), 1)
+                << "shards=" << shards << " key " << k;
+        EXPECT_EQ(mismatches.load(), 0) << "shards=" << shards;
+        EXPECT_EQ(cache.size(), static_cast<size_t>(kKeys));
+        EXPECT_EQ(cache.misses(), static_cast<size_t>(kKeys));
+        EXPECT_EQ(cache.hits() + cache.misses(),
+                  static_cast<size_t>(kThreads) * kOpsPerThread);
+
+        // erase() targets the right shard: the key recompiles.
+        const uint64_t first_key = 0x9e3779b97f4a7c15ull;
+        cache.erase(first_key);
+        bool is_new = false;
+        cache.acquire(first_key, is_new);
+        EXPECT_TRUE(is_new) << "shards=" << shards;
+
+        cache.clear();
+        EXPECT_EQ(cache.size(), 0u);
+        EXPECT_EQ(cache.hits(), 0u);
+        EXPECT_EQ(cache.misses(), 0u);
+        EXPECT_EQ(cache.lockWaitNs(), 0u);
+    }
+}
+
+TEST(Engine, CacheShardsOptionPreservesDedupSemantics)
+{
+    // The dedup accounting of CacheHitsOnRepeatedJob must be
+    // unchanged by any shard configuration.
+    auto hw = std::make_shared<const CouplingGraph>(lineTopology(10));
+    for (int shards : {1, 4, 64}) {
+        EngineOptions opts;
+        opts.numThreads = 4;
+        opts.cacheShards = shards;
+        Engine engine(opts);
+        EXPECT_EQ(engine.cache().shardCount(), shards);
+
+        std::vector<CompileJob> jobs;
+        for (int round = 0; round < 3; ++round) {
+            for (int n : {5, 6, 7}) {
+                CompileJob job;
+                job.name = "shard" + std::to_string(n);
+                job.blocks = buildSyntheticUcc(n, 300 + n);
+                job.hw = hw;
+                jobs.push_back(std::move(job));
+            }
+        }
+        auto results = engine.compileAll(std::move(jobs));
+        ASSERT_EQ(results.size(), 9u);
+        for (int i = 0; i < 3; ++i)
+            for (int r = 1; r < 3; ++r)
+                EXPECT_EQ(results[static_cast<size_t>(i)],
+                          results[static_cast<size_t>(r * 3 + i)]);
+        EXPECT_EQ(engine.cache().misses(), 3u);
+        EXPECT_EQ(engine.cache().hits(), 6u);
+        EXPECT_EQ(engine.metrics().count("jobs.completed"), 3u);
+        EXPECT_EQ(engine.metrics().count("jobs.deduplicated"), 6u);
+        // compileAll published the cache gauges into the registry.
+        EXPECT_EQ(engine.metrics().count("cache.shard_count"),
+                  static_cast<uint64_t>(shards));
+    }
 }
 
 TEST(Engine, ParallelMatchesSerial)

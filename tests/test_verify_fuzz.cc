@@ -1,10 +1,12 @@
 /**
  * @file
  * Differential fuzzing harness: seeded random Pauli-block programs
- * and devices, compiled through every registered pipeline, with every
- * result checked against the source program (both checkers) and --
- * when the program is order-free (globally commuting) -- against
- * every *other* pipeline's result state-for-state. Each pipeline thus
+ * and devices (with adversarial rotation angles at and near 0 and
+ * +-pi -- see fuzzTheta), compiled through every registered
+ * pipeline, with every result checked against the source program
+ * (both checkers) and -- when the program is order-free (globally
+ * commuting) -- against every *other* pipeline's result
+ * state-for-state. Each pipeline thus
  * acts as a test oracle for all the others: a miscompile must either
  * trip its own verifier or disagree with six independent compilers.
  *
@@ -60,6 +62,37 @@ numCases()
     return static_cast<int>(envOr("TETRIS_FUZZ_CASES", 4));
 }
 
+/**
+ * A fuzz rotation angle. Half the draws are benign uniforms; the
+ * other half target the numerically hostile corners of the domain:
+ * exactly 0 and ±π, and values a sub-1e-7 epsilon away from them.
+ * These stress the conjugation checker's per-axis angle sums mod 2π
+ * (±π alias under the wraparound, near-zero sums sit right at the
+ * match tolerance) and the exact checker's phase comparison.
+ */
+double
+fuzzTheta(Rng &rng)
+{
+    if (rng.uniformInt(0, 1) == 0)
+        return rng.uniform(-1.4, 1.4);
+    constexpr double kPi = 3.14159265358979323846;
+    const double eps = rng.uniform(0.0, 1e-7);
+    switch (rng.uniformInt(0, 5)) {
+      case 0:
+        return 0.0;
+      case 1:
+        return eps;
+      case 2:
+        return -eps;
+      case 3:
+        return kPi - eps;
+      case 4:
+        return -kPi + eps;
+      default:
+        return rng.uniformInt(0, 1) == 0 ? kPi : -kPi;
+    }
+}
+
 /** A random non-identity string over n qubits. */
 PauliString
 randomString(Rng &rng, int n)
@@ -104,13 +137,17 @@ randomProgram(Rng &rng, int num_qubits, bool globally_commuting)
             if (!ok)
                 continue;
             strings.push_back(cand);
-            weights.push_back(rng.uniform(0.25, 1.75));
+            // Unit weights every few draws keep w*theta exactly on
+            // the adversarial angle instead of smearing it.
+            weights.push_back(rng.uniformInt(0, 2) == 0
+                                  ? 1.0
+                                  : rng.uniform(0.25, 1.75));
         }
         if (strings.empty())
             continue;
         accepted.insert(accepted.end(), strings.begin(), strings.end());
         blocks.emplace_back(std::move(strings), std::move(weights),
-                            rng.uniform(-1.4, 1.4));
+                            fuzzTheta(rng));
     }
     if (blocks.empty())
         blocks.push_back(PauliBlock({randomString(rng, num_qubits)}, 0.5));
