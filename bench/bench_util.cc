@@ -10,6 +10,7 @@
 
 #include "common/json.hh"
 #include "engine/disk_cache.hh"
+#include "engine/stats.hh"
 
 namespace tetris::bench
 {
@@ -145,7 +146,12 @@ runJobs(Engine &engine, std::vector<CompileJob> jobs)
     for (const auto &job : jobs)
         names.push_back(job.name);
 
+    // Live progress for long sweeps: with TETRIS_STATS_INTERVAL set,
+    // a background thread prints throughput/in-flight/ETA lines while
+    // compileAll blocks. Off (no thread) when the variable is unset.
+    StatsReporter reporter(engine);
     auto results = engine.compileAll(std::move(jobs));
+    reporter.stop();
 
     std::vector<BenchRecord> records;
     records.reserve(results.size());
@@ -162,6 +168,11 @@ writeBenchJson(const std::string &artifact,
     JsonWriter w;
     w.beginObject();
     w.key("artifact").value(artifact);
+    // Document format version: bench-v2 added the engine.histograms
+    // section (job latency / queue wait percentiles). Absent in
+    // pre-v2 files; scripts/bench_diff.py accepts both but refuses
+    // to diff across versions.
+    w.key("schema").value("bench-v2");
     w.key("quickMode").value(quickMode());
     w.key("interrupted").value(engine.cancelRequested());
     w.key("threads").value(engine.numThreads());

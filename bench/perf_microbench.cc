@@ -43,6 +43,7 @@
 #include "engine/compile_cache.hh"
 #include "engine/disk_cache.hh"
 #include "engine/engine.hh"
+#include "engine/trace.hh"
 #include "serialize/mmap_file.hh"
 
 namespace fs = std::filesystem;
@@ -359,6 +360,55 @@ main()
         w.key("engine").beginObject();
         run_engine("cold", w);
         run_engine("warm", w);
+        w.endObject();
+    }
+
+    // ---- 4. instrument overhead ------------------------------------
+    // ns/op for each observability primitive, measured tight-loop on
+    // one thread: the string-keyed metrics path (map lookup under the
+    // registry mutex), the interned-handle path (one relaxed atomic
+    // add), wait-free histogram recording, and a TraceSpan on a
+    // disabled tracer (the always-on cost every job pays when
+    // TETRIS_TRACE is unset — must stay in low single-digit ns).
+    {
+        const uint64_t iters = quick ? 200000 : 2000000;
+        MetricsRegistry registry;
+        auto time_ns_per_op = [&](auto &&body) {
+            auto t0 = std::chrono::steady_clock::now();
+            for (uint64_t i = 0; i < iters; ++i)
+                body(i);
+            return secondsSince(t0) * 1e9 /
+                   static_cast<double>(iters);
+        };
+
+        double string_ns = time_ns_per_op(
+            [&](uint64_t) { registry.addSeconds("perf.string", 1e-9); });
+        MetricsRegistry::Handle handle =
+            registry.timerHandle("perf.handle");
+        double handle_ns = time_ns_per_op(
+            [&](uint64_t) { registry.addSeconds(handle, 1e-9); });
+        Histogram &hist = registry.histogram("perf.hist");
+        double hist_ns =
+            time_ns_per_op([&](uint64_t i) { hist.record(i); });
+        Tracer disabled_tracer;
+        double span_ns = time_ns_per_op([&](uint64_t) {
+            TraceSpan span(&disabled_tracer, "perf", "perf");
+        });
+
+        std::printf("\ninstrument overhead (%llu iters):\n"
+                    "  timer (string key) %8.2f ns/op\n"
+                    "  timer (handle)     %8.2f ns/op\n"
+                    "  histogram record   %8.2f ns/op\n"
+                    "  span (disabled)    %8.2f ns/op\n",
+                    static_cast<unsigned long long>(iters), string_ns,
+                    handle_ns, hist_ns, span_ns);
+
+        w.key("metrics_overhead").beginObject();
+        w.key("iters").value(iters);
+        w.key("timer_string_ns").value(string_ns);
+        w.key("timer_handle_ns").value(handle_ns);
+        w.key("histogram_record_ns").value(hist_ns);
+        w.key("span_disabled_ns").value(span_ns);
         w.endObject();
     }
 

@@ -23,8 +23,16 @@ timing is machine- and load-dependent:
     machines), the machine-derived checks (grid, shard count, mmap)
     downgrade to warnings; warm-run semantics always fail hard.
 
+Job trajectories come in two schema versions: legacy files (no
+"schema" key) and "bench-v2" files (which add the engine.histograms
+percentile section). Both diff identically — the headline metrics
+live in the same place — but the two artifacts must agree: mixing
+schemas (or mixing a perf file with a job file) exits 2, since the
+documents were produced by different builds of the bench harness.
+
 Exit status: 0 = no regressions, 1 = at least one regression,
-2 = bad invocation or unreadable/malformed artifact.
+2 = bad invocation, unreadable/malformed artifact, or mismatched
+schemas.
 """
 
 import argparse
@@ -197,16 +205,31 @@ def main():
     base_doc = load_doc(args.baseline)
     cand_doc = load_doc(args.candidate)
 
-    base_perf = base_doc.get("schema") == "perf-v1"
-    cand_perf = cand_doc.get("schema") == "perf-v1"
-    if base_perf != cand_perf:
+    # Schema gate. Three document versions exist: legacy job
+    # trajectories (no "schema" key), "bench-v2" job trajectories
+    # (added the engine.histograms section), and "perf-v1" perf
+    # trajectories. Diffing across versions would silently compare
+    # different measurements, so mixed schemas are an invocation
+    # error (exit 2), not a regression.
+    base_schema = base_doc.get("schema")
+    cand_schema = cand_doc.get("schema")
+    if base_schema != cand_schema:
         print(
-            "bench_diff: cannot mix a perf trajectory with a "
-            "job trajectory",
+            "bench_diff: schema mismatch: "
+            f"{args.baseline} is {base_schema or 'legacy (pre-v2)'}, "
+            f"{args.candidate} is {cand_schema or 'legacy (pre-v2)'}; "
+            "regenerate both artifacts with the same build",
             file=sys.stderr,
         )
         return 2
-    if base_perf:
+    if base_schema not in (None, "bench-v2", "perf-v1"):
+        print(
+            f"bench_diff: unknown schema '{base_schema}' "
+            "(this script understands legacy, bench-v2, and perf-v1)",
+            file=sys.stderr,
+        )
+        return 2
+    if base_schema == "perf-v1":
         return diff_perf(base_doc, cand_doc, args.tolerance)
 
     base = load_jobs(args.baseline, base_doc)

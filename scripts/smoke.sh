@@ -13,6 +13,11 @@
 # operate on the resulting store/trajectories. The perf microbench
 # (sharded cache + mmap artifact reads) then runs its quick preset,
 # and its warm engine sweep must also do zero recompiles.
+#
+# Observability: trajectories must carry the bench-v2 schema with
+# latency histograms, a TETRIS_TRACE run must produce a file that
+# scripts/trace_report.py validates, and bench_diff.py must refuse
+# (exit 2) to diff artifacts with mismatched schemas.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +34,59 @@ for artifact in table2 fig14 fig23; do
   test -s "build/BENCH_${artifact}.json"
   echo "smoke OK: build/BENCH_${artifact}.json written"
 done
+
+# ---- observability: schema, histograms, tracing -------------------
+# Every job trajectory must declare the bench-v2 schema and carry
+# ordered latency percentiles for job latency and queue wait.
+python3 - build/BENCH_table2.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc.get("schema") == "bench-v2", \
+    f"expected bench-v2 schema, got {doc.get('schema')!r}"
+hists = doc["engine"]["histograms"]
+for name in ("job.latency_ns", "job.queue_wait_ns"):
+    h = hists[name]
+    assert h["count"] > 0, f"{name} recorded nothing"
+    assert h["p50"] <= h["p90"] <= h["p99"], \
+        f"{name} percentiles out of order: {h}"
+print(f"smoke OK: bench-v2 histograms present "
+      f"(job latency p99 {hists['job.latency_ns']['p99']} ns over "
+      f"{hists['job.latency_ns']['count']} job(s))")
+EOF
+
+# A traced run must produce a loadable Chrome trace-event file that
+# trace_report.py accepts; a malformed one must be rejected (exit 2).
+rm -f build/smoke-trace.json
+(cd build && TETRIS_TRACE=smoke-trace.json ./table2_main)
+test -s build/smoke-trace.json
+python3 scripts/trace_report.py build/smoke-trace.json
+echo 'not a trace' > build/smoke-trace-bad.json
+if python3 scripts/trace_report.py build/smoke-trace-bad.json \
+    2> /dev/null; then
+  echo "smoke FAIL: trace_report accepted a malformed trace" >&2
+  exit 1
+fi
+echo "smoke OK: traced run + trace_report validation passed"
+
+# Mixing a bench-v2 trajectory with a legacy (pre-schema) one must be
+# an invocation error (exit 2), not a crash or a silent diff.
+python3 - build/BENCH_table2.json build/BENCH_table2.legacy.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc.pop("schema", None)
+doc["engine"].pop("histograms", None)
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+set +e
+python3 scripts/bench_diff.py \
+  build/BENCH_table2.json build/BENCH_table2.legacy.json
+mixed_rc=$?
+set -e
+if [ "$mixed_rc" -ne 2 ]; then
+  echo "smoke FAIL: mixed-schema diff exited $mixed_rc (want 2)" >&2
+  exit 1
+fi
+echo "smoke OK: mixed-schema diff refused with exit 2"
 
 # ---- persistent disk cache: cold run, warm run, corruption --------
 warm_dir="${TETRIS_CACHE_DIR:-$PWD/build/tetris-cache}/smoke"

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace-event JSON file written via TETRIS_TRACE.
+
+Usage:
+    trace_report.py TRACE.json [--top N]
+
+Reads the {"traceEvents": [...]} document the engine's span tracer
+produces (engine/trace.hh), validates it, and prints:
+
+  - per-stage totals: accumulated wall time per span name
+    (queue_wait, compile, schedule, synthesis, peephole, verify,
+    disk_read, disk_write, job), with event counts and averages;
+  - the top N slowest "job" spans (default 10), with the owning
+    job's display name from args.job;
+  - the queue-wait share: total queue_wait time relative to total
+    queue_wait + job time — a high share means submissions spend
+    their life waiting for a worker, i.e. the sweep wants more
+    threads (or has a head-of-line straggler).
+
+Validation is strict so CI can trust a zero exit: the document must
+be valid JSON with a traceEvents list, and every complete event
+("ph": "X") must carry a string name and numeric ts/dur/tid.
+
+Exit status: 0 = report printed, 2 = unreadable, malformed, or
+empty trace.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(message):
+    print(f"trace_report: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_events(path):
+    """Parse and validate the trace; returns the complete events."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot read {path}: {exc}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: not a trace-event document "
+             "(missing 'traceEvents')")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: 'traceEvents' is not a list")
+
+    complete = []
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"{path}: traceEvents[{i}] is not an object")
+        if event.get("ph") != "X":
+            continue  # metadata/counter events are fine, just skipped
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{path}: traceEvents[{i}] has no span name")
+        for field in ("ts", "dur", "tid"):
+            if not isinstance(event.get(field), (int, float)):
+                fail(f"{path}: traceEvents[{i}] ('{name}') has "
+                     f"non-numeric '{field}'")
+        if event["dur"] < 0:
+            fail(f"{path}: traceEvents[{i}] ('{name}') has "
+                 "negative duration")
+        complete.append(event)
+    if not complete:
+        fail(f"{path}: no complete ('ph': 'X') span events")
+    return complete
+
+
+def fmt_ms(us):
+    return f"{us / 1e3:10.3f} ms"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Summarize a TETRIS_TRACE span file."
+    )
+    parser.add_argument("trace")
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many of the slowest jobs to list (default: 10)",
+    )
+    args = parser.parse_args()
+    if args.top < 1:
+        parser.error("--top must be >= 1")
+
+    events = load_events(args.trace)
+
+    # --- per-stage totals -------------------------------------------
+    totals = {}  # name -> [count, total_us]
+    for event in events:
+        entry = totals.setdefault(event["name"], [0, 0.0])
+        entry[0] += 1
+        entry[1] += event["dur"]
+    threads = len({event["tid"] for event in events})
+
+    print(f"{args.trace}: {len(events)} spans across "
+          f"{threads} thread(s)")
+    print()
+    print(f"{'span':<12} {'count':>7} {'total':>13} {'avg':>13}")
+    for name, (count, total_us) in sorted(
+        totals.items(), key=lambda kv: -kv[1][1]
+    ):
+        print(f"{name:<12} {count:>7} {fmt_ms(total_us)} "
+              f"{fmt_ms(total_us / count)}")
+
+    # --- slowest jobs -----------------------------------------------
+    jobs = [e for e in events if e["name"] == "job"]
+    if jobs:
+        jobs.sort(key=lambda e: -e["dur"])
+        print()
+        print(f"top {min(args.top, len(jobs))} slowest jobs:")
+        for event in jobs[: args.top]:
+            label = event.get("args", {}).get("job", "<unnamed>")
+            print(f"  {fmt_ms(event['dur'])}  {label}")
+
+    # --- queue-wait share -------------------------------------------
+    queue_us = totals.get("queue_wait", [0, 0.0])[1]
+    job_us = totals.get("job", [0, 0.0])[1]
+    if queue_us + job_us > 0:
+        share = 100.0 * queue_us / (queue_us + job_us)
+        print()
+        print(f"queue-wait share: {share:.1f}% of "
+              f"{fmt_ms(queue_us + job_us).strip()} "
+              "(queue_wait / (queue_wait + job))")
+
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/env.hh"
+#include "common/log.hh"
 #include "common/logging.hh"
 
 namespace tetris
@@ -55,9 +56,9 @@ CompileCache::resolveShardCount(int requested)
     if (const char *env = std::getenv("TETRIS_CACHE_SHARDS")) {
         if (int n = parseEnvInt(env, 1, kMaxShards))
             return n;
-        warn("ignoring invalid TETRIS_CACHE_SHARDS='", env,
-             "' (want an integer in [1, 1024]); deriving from "
-             "hardware concurrency");
+        logWarn("ignoring invalid TETRIS_CACHE_SHARDS='", env,
+                "' (want an integer in [1, 1024]); deriving from "
+                "hardware concurrency");
     }
     unsigned hw = std::thread::hardware_concurrency();
     return nextPowerOfTwo(hw == 0 ? 1 : hw);
@@ -78,12 +79,13 @@ CompileCache::lockShard(const Shard &shard) const
         // uncontended acquisition stays two instructions.
         auto t0 = std::chrono::steady_clock::now();
         lock.lock();
-        lockWaitNs_.fetch_add(
-            static_cast<uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count()),
-            std::memory_order_relaxed);
+        auto waited = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        lockWaitNs_.fetch_add(waited, std::memory_order_relaxed);
+        if (lockWaitHist_ != nullptr)
+            lockWaitHist_->record(waited);
     }
     return lock;
 }

@@ -32,6 +32,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/histogram.hh"
 #include "core/compiler.hh"
 
 namespace tetris
@@ -98,6 +99,14 @@ class CompileCache
     uint64_t lockWaitNs() const { return lockWaitNs_.load(); }
 
     /**
+     * Also record each contended wait into `hist` (the engine wires
+     * its cache.lock_wait_ns histogram here, turning the flat total
+     * into a p50/p90/p99 distribution). Set before concurrent use;
+     * null detaches. The histogram must outlive the cache.
+     */
+    void setLockWaitHistogram(Histogram *hist) { lockWaitHist_ = hist; }
+
+    /**
      * Resolve a shard-count request: a positive request wins;
      * otherwise the TETRIS_CACHE_SHARDS environment variable
      * (strict integer in [1, 1024], anything else warns and falls
@@ -124,6 +133,8 @@ class CompileCache
     int numShards_;
     std::unique_ptr<Shard[]> shards_;
     mutable std::atomic<uint64_t> lockWaitNs_{0};
+    /** Optional per-wait distribution; see setLockWaitHistogram. */
+    Histogram *lockWaitHist_ = nullptr;
     std::atomic<size_t> hits_{0};
     std::atomic<size_t> misses_{0};
 };

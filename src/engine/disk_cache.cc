@@ -10,6 +10,7 @@
 
 #include <unistd.h>
 
+#include "common/log.hh"
 #include "common/logging.hh"
 #include "serialize/artifact.hh"
 #include "serialize/mmap_file.hh"
@@ -81,8 +82,8 @@ maxBytesFromEnv()
         ++end;
     if (errno != 0 || end == v || *end != '\0' ||
         std::strchr(v, '-') != nullptr) {
-        warn("ignoring invalid TETRIS_CACHE_MAX_BYTES='", v,
-             "' (want a plain byte count)");
+        logWarn("ignoring invalid TETRIS_CACHE_MAX_BYTES='", v,
+                "' (want a plain byte count)");
         return 0;
     }
     return parsed;
@@ -103,7 +104,7 @@ std::shared_ptr<DiskCache>
 DiskCache::open(const std::string &dir, uint64_t max_bytes)
 {
     if (dir.find_first_not_of(" \t\n") == std::string::npos) {
-        warn("disk cache disabled: empty cache directory path");
+        logWarn("disk cache disabled: empty cache directory path");
         return nullptr;
     }
     std::error_code ec;
@@ -111,14 +112,14 @@ DiskCache::open(const std::string &dir, uint64_t max_bytes)
     // stores don't silently retarget when the process chdirs.
     fs::path root = fs::absolute(dir, ec);
     if (ec) {
-        warn("disk cache disabled: cannot resolve '", dir, "': ",
-             ec.message());
+        logWarn("disk cache disabled: cannot resolve '", dir, "': ",
+                ec.message());
         return nullptr;
     }
     fs::create_directories(root, ec);
     if (ec) {
-        warn("disk cache disabled: cannot create '", root.string(),
-             "': ", ec.message());
+        logWarn("disk cache disabled: cannot create '", root.string(),
+                "': ", ec.message());
         return nullptr;
     }
     // Probe writability now: a read-only store must degrade to
@@ -129,8 +130,8 @@ DiskCache::open(const std::string &dir, uint64_t max_bytes)
         std::ofstream out(probe, std::ios::binary);
         out << "probe";
         if (!out) {
-            warn("disk cache disabled: '", root.string(),
-                 "' is not writable");
+            logWarn("disk cache disabled: '", root.string(),
+                    "' is not writable");
             fs::remove(probe, ec);
             return nullptr;
         }
@@ -181,8 +182,8 @@ DiskCache::store(uint64_t key, const CompileResult &result) const
     std::error_code ec;
     fs::create_directories(path.parent_path(), ec);
     if (ec) {
-        warn("disk cache: cannot create shard dir for ",
-             path.string(), ": ", ec.message());
+        logWarn("disk cache: cannot create shard dir for ",
+                path.string(), ": ", ec.message());
         return false;
     }
     // Unique-per-writer temp name in the final directory, so the
@@ -200,15 +201,15 @@ DiskCache::store(uint64_t key, const CompileResult &result) const
         // truncated temp file must never reach the final path.
         out.close();
         if (out.fail()) {
-            warn("disk cache: write failed for ", tmp.string());
+            logWarn("disk cache: write failed for ", tmp.string());
             fs::remove(tmp, ec);
             return false;
         }
     }
     fs::rename(tmp, path, ec);
     if (ec) {
-        warn("disk cache: rename failed for ", path.string(), ": ",
-             ec.message());
+        logWarn("disk cache: rename failed for ", path.string(), ": ",
+                ec.message());
         fs::remove(tmp, ec);
         return false;
     }

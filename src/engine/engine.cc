@@ -1,16 +1,52 @@
 #include "engine/engine.hh"
 
+#include <algorithm>
+
 #include "common/hash.hh"
+#include "common/log.hh"
 #include "common/logging.hh"
 #include "engine/disk_cache.hh"
+#include "engine/trace.hh"
 
 namespace tetris
 {
 
+namespace
+{
+
+/** Stage durations -> span lengths on the trace timeline. */
+uint64_t
+secondsToNs(double seconds)
+{
+    if (seconds <= 0.0)
+        return 0;
+    return static_cast<uint64_t>(seconds * 1e9);
+}
+
+} // namespace
+
 Engine::Engine(EngineOptions opts)
     : opts_(opts), cache_(opts.cacheShards),
-      pool_(ThreadPool::resolveThreadCount(opts.numThreads))
+      pool_(ThreadPool::resolveThreadCount(opts.numThreads)),
+      // Touching Tracer::global() here also orders static lifetimes:
+      // the global tracer is constructed before any engine, so it is
+      // destroyed (and its TETRIS_TRACE file flushed) after every
+      // engine's worker threads have drained.
+      tracer_(opts.tracer != nullptr ? opts.tracer : &Tracer::global()),
+      latencyHist_(&metrics_.histogram("job.latency_ns")),
+      queueWaitHist_(&metrics_.histogram("job.queue_wait_ns")),
+      jobsSubmittedH_(metrics_.counterHandle("jobs.submitted")),
+      jobsCompletedH_(metrics_.counterHandle("jobs.completed")),
+      jobsDedupedH_(metrics_.counterHandle("jobs.deduplicated")),
+      jobsDiskHitsH_(metrics_.counterHandle("jobs.disk_hits")),
+      jobsCancelledH_(metrics_.counterHandle("jobs.cancelled")),
+      verifyPassH_(metrics_.counterHandle("verify.pass")),
+      verifyFailH_(metrics_.counterHandle("verify.fail")),
+      verifySkippedH_(metrics_.counterHandle("verify.skipped")),
+      verifySecondsH_(metrics_.timerHandle("verify.seconds"))
 {
+    cache_.setLockWaitHistogram(
+        &metrics_.histogram("cache.lock_wait_ns"));
 }
 
 Engine::~Engine()
@@ -54,32 +90,36 @@ Engine::jobKey(const CompileJob &job, uint32_t abi_version)
 void
 Engine::reportDone(const std::string &name)
 {
-    if (!opts_.onJobDone)
+    // The finished count always advances (the stats reporter polls
+    // it); the progress mutex only serializes the user callback so
+    // its (done, total) pairs never interleave or run backwards.
+    if (!opts_.onJobDone) {
+        finished_.fetch_add(1, std::memory_order_relaxed);
         return;
-    // One lock for counters and callback: (done, total) pairs stay
-    // consistent and concurrent invocations never interleave.
+    }
     std::lock_guard<std::mutex> lock(progressMutex_);
-    ++finished_;
-    opts_.onJobDone(finished_, submitted_, name);
+    size_t done = finished_.fetch_add(1, std::memory_order_relaxed) + 1;
+    opts_.onJobDone(done, submittedCount(), name);
 }
 
 VerifyStatus
 Engine::verifyJob(const CompileJob &job, const CompileResult &result)
 {
-    ScopedTimer timer(metrics_, "verify.seconds");
+    TraceSpan span(tracer_, "verify", "verify", job.name);
+    ScopedTimer timer(metrics_, verifySecondsH_);
     VerifyReport report =
         verifyCompileResult(job.blocks, result, opts_.verifyOptions);
     switch (report.status) {
       case VerifyStatus::Pass:
-        metrics_.addCount("verify.pass");
+        metrics_.addCount(verifyPassH_);
         break;
       case VerifyStatus::Fail:
-        metrics_.addCount("verify.fail");
-        warn("verify FAIL [", job.name, "] via ", report.method, ": ",
-             report.detail);
+        metrics_.addCount(verifyFailH_);
+        logWarn("verify FAIL [", job.name, "] via ", report.method,
+                ": ", report.detail);
         break;
       case VerifyStatus::Skipped:
-        metrics_.addCount("verify.skipped");
+        metrics_.addCount(verifySkippedH_);
         break;
     }
     return report.status;
@@ -87,12 +127,33 @@ Engine::verifyJob(const CompileJob &job, const CompileResult &result)
 
 void
 Engine::runJob(const CompileJob &job, uint64_t key,
-               const std::shared_ptr<CompileCache::Entry> &entry)
+               const std::shared_ptr<CompileCache::Entry> &entry,
+               uint64_t submit_ns)
 {
+    started_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t dequeue_ns = steadyNowNs();
+    queueWaitHist_->record(dequeue_ns >= submit_ns
+                               ? dequeue_ns - submit_ns
+                               : 0);
+    if (tracer_->enabled()) {
+        tracer_->recordSpan("queue_wait", "queue", submit_ns,
+                            dequeue_ns, job.name);
+    }
+    // One "job" span per dequeued submission, dequeue -> publish; the
+    // latency histogram additionally covers the queue wait.
+    auto finishJob = [&] {
+        const uint64_t end_ns = steadyNowNs();
+        latencyHist_->record(end_ns >= submit_ns ? end_ns - submit_ns
+                                                 : 0);
+        if (tracer_->enabled())
+            tracer_->recordSpan("job", "job", dequeue_ns, end_ns,
+                                job.name);
+    };
+
     // Cancellation gate: checked when a worker dequeues the job, so
     // cancelPending() stops everything that has not started yet.
     if (cancel_.load()) {
-        metrics_.addCount("jobs.cancelled");
+        metrics_.addCount(jobsCancelledH_);
         if (opts_.enableCache) {
             // Don't let the placeholder result shadow the key: a
             // later engine (or run) must recompile it.
@@ -101,6 +162,7 @@ Engine::runJob(const CompileJob &job, uint64_t key,
         auto placeholder = std::make_shared<CompileResult>();
         placeholder->cancelled = true;
         reportDone(job.name);
+        finishJob();
         entry->publish(std::move(placeholder));
         return;
     }
@@ -108,22 +170,54 @@ Engine::runJob(const CompileJob &job, uint64_t key,
     // Read-through: an in-memory miss may still be served from the
     // persistent store of a previous process.
     if (opts_.diskCache) {
-        if (auto persisted = opts_.diskCache->load(key)) {
-            metrics_.addCount("jobs.disk_hits");
+        auto loadPersisted = [&] {
+            TraceSpan span(tracer_, "disk_read", "disk", job.name);
+            return opts_.diskCache->load(key);
+        };
+        if (auto persisted = loadPersisted()) {
+            metrics_.addCount(jobsDiskHitsH_);
             // Disk artifacts are verified too: this is what catches a
             // stale or silently-wrong .tca entry before its numbers
             // reach a BENCH_*.json.
             if (opts_.verify)
                 verifyJob(job, *persisted);
             reportDone(job.name);
+            finishJob();
             entry->publish(std::move(persisted));
             return;
         }
     }
 
+    const uint64_t compile_start_ns = steadyNowNs();
     CompileResult result = job.pipeline->run(job.blocks, *job.hw);
+    const uint64_t compile_end_ns = steadyNowNs();
     metrics_.recordCompile(result.stats);
-    metrics_.addCount("jobs.completed");
+    metrics_.addCount(jobsCompletedH_);
+    if (tracer_->enabled()) {
+        tracer_->recordSpan("compile", "compile", compile_start_ns,
+                            compile_end_ns, job.name);
+        // The pipeline runs its stages sequentially, so their spans
+        // can be laid back-to-back from the measured durations; they
+        // nest under "compile" on the same track.
+        struct StageSpan
+        {
+            const char *name;
+            double seconds;
+        };
+        const StageSpan stages[] = {
+            {"schedule", result.stats.scheduleSeconds},
+            {"synthesis", result.stats.synthSeconds},
+            {"peephole", result.stats.peepholeSeconds},
+        };
+        uint64_t t = compile_start_ns;
+        for (const StageSpan &stage : stages) {
+            uint64_t end =
+                std::min(t + secondsToNs(stage.seconds),
+                         compile_end_ns);
+            tracer_->recordSpan(stage.name, "stage", t, end, job.name);
+            t = end;
+        }
+    }
     // Verify-on-write: the verdict is taken *before* the artifact can
     // reach the disk tier, so a miscompile never lands in the store.
     bool verify_failed = false;
@@ -133,6 +227,7 @@ Engine::runJob(const CompileJob &job, uint64_t key,
     // (compileAll callers) may proceed, and every callback for their
     // jobs must already have returned.
     reportDone(job.name);
+    finishJob();
     auto shared = std::make_shared<const CompileResult>(std::move(result));
     entry->publish(shared);
     // Write-behind: persist after publishing so waiters never block
@@ -140,9 +235,10 @@ Engine::runJob(const CompileJob &job, uint64_t key,
     if (opts_.diskCache) {
         if (verify_failed && opts_.verifyBeforeStore) {
             metrics_.addCount("verify.blocked_write");
-            warn("verify: not persisting failed compilation [",
-                 job.name, "]");
+            logWarn("verify: not persisting failed compilation [",
+                    job.name, "]");
         } else {
+            TraceSpan span(tracer_, "disk_write", "disk", job.name);
             opts_.diskCache->store(key, *shared);
         }
     }
@@ -153,11 +249,8 @@ Engine::submit(CompileJob job)
 {
     TETRIS_ASSERT(job.hw != nullptr, "job without a device");
     TETRIS_ASSERT(job.pipeline != nullptr, "job without a pipeline");
-    metrics_.addCount("jobs.submitted");
-    {
-        std::lock_guard<std::mutex> lock(progressMutex_);
-        ++submitted_;
-    }
+    metrics_.addCount(jobsSubmittedH_);
+    submitted_.fetch_add(1, std::memory_order_relaxed);
 
     const uint64_t key = jobKey(job);
     std::shared_ptr<CompileCache::Entry> entry;
@@ -170,13 +263,17 @@ Engine::submit(CompileJob job)
     }
 
     if (is_new) {
+        // The submit timestamp rides along so the worker can account
+        // the queue wait to this job when it dequeues.
+        const uint64_t submit_ns = steadyNowNs();
         // The worker owns a copy of the job; callers may mutate or
         // destroy theirs immediately after submit().
-        pool_.submit([this, job = std::move(job), key, entry] {
-            runJob(job, key, entry);
-        });
+        pool_.submit(
+            [this, job = std::move(job), key, entry, submit_ns] {
+                runJob(job, key, entry, submit_ns);
+            });
     } else {
-        metrics_.addCount("jobs.deduplicated");
+        metrics_.addCount(jobsDedupedH_);
         // No work left for this submission: the shared entry is (or
         // will be) published by its owner.
         reportDone(job.name);

@@ -53,6 +53,7 @@ namespace tetris
 {
 
 class DiskCache;
+class Tracer;
 
 /** One unit of batch work: a workload, a device, and a pipeline. */
 struct CompileJob
@@ -111,6 +112,15 @@ struct EngineOptions
      * verify.blocked_write. No effect unless `verify` is set.
      */
     bool verifyBeforeStore = true;
+    /**
+     * Span tracer receiving this engine's per-job trace events
+     * (queue wait, compile stages, verify, disk reads/writes); see
+     * engine/trace.hh. Null (the default) means Tracer::global(),
+     * which is armed by TETRIS_TRACE=<file> and otherwise records
+     * nothing. Tests pass a private Tracer to capture spans without
+     * touching process state. Must outlive the engine.
+     */
+    Tracer *tracer = nullptr;
     /**
      * Progress hook: called once per submission when its work is
      * finished -- after the compilation for fresh jobs, immediately
@@ -173,6 +183,30 @@ class Engine
     void drain() { pool_.waitIdle(); }
 
     int numThreads() const { return pool_.numThreads(); }
+
+    /**
+     * Live progress counters (relaxed atomics — safe to poll from
+     * any thread, e.g. the StatsReporter): submissions accepted,
+     * jobs a worker has dequeued, and submissions whose work is
+     * finished. Deduplicated submissions finish without starting,
+     * so finishedCount() can exceed startedCount().
+     */
+    size_t submittedCount() const
+    {
+        return submitted_.load(std::memory_order_relaxed);
+    }
+    size_t startedCount() const
+    {
+        return started_.load(std::memory_order_relaxed);
+    }
+    size_t finishedCount() const
+    {
+        return finished_.load(std::memory_order_relaxed);
+    }
+
+    /** The tracer this engine records spans into (never null). */
+    Tracer &tracer() const { return *tracer_; }
+
     /** True when this engine runs the verify pass on its results. */
     bool verifyEnabled() const { return opts_.verify; }
     const CompileCache &cache() const { return cache_; }
@@ -205,7 +239,8 @@ class Engine
 
   private:
     void runJob(const CompileJob &job, uint64_t key,
-                const std::shared_ptr<CompileCache::Entry> &entry);
+                const std::shared_ptr<CompileCache::Entry> &entry,
+                uint64_t submit_ns);
     VerifyStatus verifyJob(const CompileJob &job,
                            const CompileResult &result);
     void reportDone(const std::string &name);
@@ -216,13 +251,25 @@ class Engine
     CompileCache cache_;
     ThreadPool pool_;
 
+    /** opts_.tracer resolved against Tracer::global(); never null. */
+    Tracer *tracer_;
+    /** Stable refs into metrics_ for the per-job latency records. */
+    Histogram *latencyHist_;
+    Histogram *queueWaitHist_;
+    /** Pre-interned instruments for the per-job hot path. */
+    MetricsRegistry::Handle jobsSubmittedH_, jobsCompletedH_,
+        jobsDedupedH_, jobsDiskHitsH_, jobsCancelledH_;
+    MetricsRegistry::Handle verifyPassH_, verifyFailH_,
+        verifySkippedH_, verifySecondsH_;
+
     std::mutex jobsMutex_;
     std::vector<std::shared_ptr<CompileCache::Entry>> jobs_;
 
-    /** Guards the progress counters and serializes onJobDone. */
+    /** Serializes onJobDone so (done, total) pairs never interleave. */
     std::mutex progressMutex_;
-    size_t submitted_ = 0;
-    size_t finished_ = 0;
+    std::atomic<size_t> submitted_{0};
+    std::atomic<size_t> started_{0};
+    std::atomic<size_t> finished_{0};
 };
 
 } // namespace tetris

@@ -6,6 +6,87 @@
 namespace tetris
 {
 
+namespace
+{
+
+/** Seconds -> integer nanoseconds for the atomic timer slots. */
+uint64_t
+toNanos(double seconds)
+{
+    if (seconds <= 0.0)
+        return 0;
+    return static_cast<uint64_t>(seconds * 1e9);
+}
+
+} // namespace
+
+MetricsRegistry::MetricsRegistry()
+{
+    // Per-job hot instruments: recordCompile() runs once per fresh
+    // compilation on a worker thread, so its updates go through
+    // interned slots (pure atomic adds), not the mutex-guarded maps.
+    compileTotal_ = timerHandle("compile.total");
+    compileSchedule_ = timerHandle("compile.schedule");
+    compileSynthesis_ = timerHandle("compile.synthesis");
+    compilePeephole_ = timerHandle("compile.peephole");
+    gatesCnot_ = counterHandle("gates.cnot");
+    gatesOneq_ = counterHandle("gates.oneq");
+    gatesSwap_ = counterHandle("gates.swap");
+}
+
+MetricsRegistry::Handle
+MetricsRegistry::internSlot(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slotIndex_.find(name);
+    if (it != slotIndex_.end())
+        return it->second;
+    slots_.emplace_back();
+    slots_.back().name = name;
+    Handle h = slots_.size() - 1;
+    slotIndex_.emplace(name, h);
+    return h;
+}
+
+MetricsRegistry::Handle
+MetricsRegistry::counterHandle(const std::string &name)
+{
+    return internSlot(name);
+}
+
+MetricsRegistry::Handle
+MetricsRegistry::timerHandle(const std::string &name)
+{
+    return counterHandle(name);
+}
+
+void
+MetricsRegistry::addCount(Handle h, uint64_t delta)
+{
+    slots_[h].count.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+MetricsRegistry::addSeconds(Handle h, double seconds)
+{
+    slots_[h].nanos.fetch_add(toNanos(seconds),
+                              std::memory_order_relaxed);
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histogramIndex_.find(name);
+    if (it != histogramIndex_.end())
+        return histograms_[it->second].second;
+    histograms_.emplace_back(std::piecewise_construct,
+                             std::forward_as_tuple(name),
+                             std::forward_as_tuple());
+    histogramIndex_.emplace(name, histograms_.size() - 1);
+    return histograms_.back().second;
+}
+
 void
 MetricsRegistry::addCount(const std::string &name, uint64_t delta)
 {
@@ -30,44 +111,80 @@ MetricsRegistry::addSeconds(const std::string &name, double seconds)
 void
 MetricsRegistry::recordCompile(const CompileStats &stats)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    timers_["compile.total"] += stats.compileSeconds;
-    timers_["compile.schedule"] += stats.scheduleSeconds;
-    timers_["compile.synthesis"] += stats.synthSeconds;
-    timers_["compile.peephole"] += stats.peepholeSeconds;
-    counts_["gates.cnot"] += stats.cnotCount;
-    counts_["gates.oneq"] += stats.oneQubitCount;
-    counts_["gates.swap"] += stats.swapCount;
+    addSeconds(compileTotal_, stats.compileSeconds);
+    addSeconds(compileSchedule_, stats.scheduleSeconds);
+    addSeconds(compileSynthesis_, stats.synthSeconds);
+    addSeconds(compilePeephole_, stats.peepholeSeconds);
+    addCount(gatesCnot_, stats.cnotCount);
+    addCount(gatesOneq_, stats.oneQubitCount);
+    addCount(gatesSwap_, stats.swapCount);
 }
 
 uint64_t
 MetricsRegistry::count(const std::string &name) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
     auto it = counts_.find(name);
-    return it == counts_.end() ? 0 : it->second;
+    if (it != counts_.end())
+        total += it->second;
+    auto slot = slotIndex_.find(name);
+    if (slot != slotIndex_.end())
+        total += slots_[slot->second].count.load(
+            std::memory_order_relaxed);
+    return total;
 }
 
 double
 MetricsRegistry::seconds(const std::string &name) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    double total = 0.0;
     auto it = timers_.find(name);
-    return it == timers_.end() ? 0.0 : it->second;
+    if (it != timers_.end())
+        total += it->second;
+    auto slot = slotIndex_.find(name);
+    if (slot != slotIndex_.end())
+        total += static_cast<double>(slots_[slot->second].nanos.load(
+                     std::memory_order_relaxed)) /
+                 1e9;
+    return total;
 }
 
 std::map<std::string, uint64_t>
 MetricsRegistry::counts() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return counts_;
+    std::map<std::string, uint64_t> out = counts_;
+    for (const auto &slot : slots_) {
+        uint64_t v = slot.count.load(std::memory_order_relaxed);
+        if (v != 0)
+            out[slot.name] += v;
+    }
+    return out;
 }
 
 std::map<std::string, double>
 MetricsRegistry::timers() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return timers_;
+    std::map<std::string, double> out = timers_;
+    for (const auto &slot : slots_) {
+        uint64_t ns = slot.nanos.load(std::memory_order_relaxed);
+        if (ns != 0)
+            out[slot.name] += static_cast<double>(ns) / 1e9;
+    }
+    return out;
+}
+
+std::map<std::string, Histogram::Snapshot>
+MetricsRegistry::histogramSnapshots() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, Histogram::Snapshot> out;
+    for (const auto &[name, hist] : histograms_)
+        out[name] = hist.snapshot();
+    return out;
 }
 
 void
@@ -76,20 +193,57 @@ MetricsRegistry::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     counts_.clear();
     timers_.clear();
+    for (auto &slot : slots_) {
+        slot.count.store(0, std::memory_order_relaxed);
+        slot.nanos.store(0, std::memory_order_relaxed);
+    }
+    for (auto &[name, hist] : histograms_)
+        hist.clear();
 }
 
 void
 MetricsRegistry::writeJson(JsonWriter &w) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Build merged views first: counts()/timers() take the mutex
+    // themselves, and the histogram walk below takes it again.
+    std::map<std::string, uint64_t> merged_counts = counts();
+    std::map<std::string, double> merged_timers = timers();
+
     w.beginObject();
     w.key("counts").beginObject();
-    for (const auto &[name, v] : counts_)
+    for (const auto &[name, v] : merged_counts)
         w.key(name).value(v);
     w.endObject();
     w.key("seconds").beginObject();
-    for (const auto &[name, v] : timers_)
+    for (const auto &[name, v] : merged_timers)
         w.key(name).value(v);
+    w.endObject();
+    w.key("histograms").beginObject();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Stable name order, like the other sections.
+        std::map<std::string, const Histogram *> ordered;
+        for (const auto &[name, hist] : histograms_)
+            ordered[name] = &hist;
+        for (const auto &[name, hist] : ordered) {
+            w.key(name).beginObject();
+            w.key("count").value(hist->count());
+            w.key("sum").value(hist->sum());
+            w.key("max").value(hist->max());
+            w.key("p50").value(hist->percentile(0.50));
+            w.key("p90").value(hist->percentile(0.90));
+            w.key("p99").value(hist->percentile(0.99));
+            w.key("buckets").beginArray();
+            for (int i = 0; i < Histogram::kBuckets; ++i) {
+                uint64_t n = hist->bucketCount(i);
+                if (n == 0)
+                    continue;
+                w.beginArray().value(i).value(n).endArray();
+            }
+            w.endArray();
+            w.endObject();
+        }
+    }
     w.endObject();
     w.endObject();
 }

@@ -1,0 +1,169 @@
+#include "engine/stats.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/env.hh"
+#include "common/log.hh"
+#include "engine/engine.hh"
+
+namespace tetris
+{
+
+namespace
+{
+
+/** Dots to underscores: metric names as Prometheus label values are
+ *  fine, but the sample names themselves must be [a-zA-Z0-9_:]. */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (!(('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+              ('0' <= c && c <= '9') || c == '_'))
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace
+
+namespace
+{
+
+/**
+ * Jobs dequeued by a worker but not yet finished. Deduplicated
+ * submissions finish without ever starting, so the naive difference
+ * can go negative; clamp for display.
+ */
+size_t
+inFlight(size_t started, size_t finished)
+{
+    return started > finished ? started - finished : 0;
+}
+
+} // namespace
+
+std::string
+formatStatsSnapshot(const Engine &engine)
+{
+    std::ostringstream os;
+    os << "# tetris engine stats\n";
+    os << "tetris_jobs_submitted " << engine.submittedCount() << "\n";
+    os << "tetris_jobs_started " << engine.startedCount() << "\n";
+    os << "tetris_jobs_finished " << engine.finishedCount() << "\n";
+    os << "tetris_jobs_in_flight "
+       << inFlight(engine.startedCount(), engine.finishedCount())
+       << "\n";
+    os << "tetris_threads " << engine.numThreads() << "\n";
+
+    const MetricsRegistry &metrics = engine.metrics();
+    for (const auto &[name, value] : metrics.counts())
+        os << "tetris_count{name=\"" << name << "\"} " << value << "\n";
+    for (const auto &[name, value] : metrics.timers())
+        os << "tetris_seconds{name=\"" << name << "\"} " << value
+           << "\n";
+    for (const auto &[name, snap] : metrics.histogramSnapshots()) {
+        std::string base = "tetris_" + sanitize(name);
+        os << base << "_count " << snap.count << "\n";
+        os << base << "_sum " << snap.sum << "\n";
+        os << base << "_max " << snap.max << "\n";
+        os << base << "{quantile=\"0.5\"} " << snap.p50 << "\n";
+        os << base << "{quantile=\"0.9\"} " << snap.p90 << "\n";
+        os << base << "{quantile=\"0.99\"} " << snap.p99 << "\n";
+    }
+    return os.str();
+}
+
+double
+StatsReporter::intervalFromEnv()
+{
+    const char *v = std::getenv("TETRIS_STATS_INTERVAL");
+    if (v == nullptr || *v == '\0')
+        return 0.0;
+    // "0" is an explicit off, not an invalid value.
+    if (v[0] == '0' && v[1] == '\0')
+        return 0.0;
+    if (int n = parseEnvInt(v, 1, 86400))
+        return static_cast<double>(n);
+    logWarn("ignoring invalid TETRIS_STATS_INTERVAL='", v,
+            "' (want seconds in [1, 86400]); stats reporter off");
+    return 0.0;
+}
+
+StatsReporter::StatsReporter(const Engine &engine,
+                             double interval_seconds)
+    : engine_(engine), interval_(interval_seconds)
+{
+    if (interval_ > 0.0)
+        thread_ = std::thread([this] { loop(); });
+}
+
+StatsReporter::~StatsReporter() { stop(); }
+
+void
+StatsReporter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+StatsReporter::loop()
+{
+    const auto start = std::chrono::steady_clock::now();
+    const size_t finished_at_start = engine_.finishedCount();
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (wake_.wait_for(
+                    lock, std::chrono::duration<double>(interval_),
+                    [this] { return stopping_; })) {
+                return;
+            }
+        }
+        const size_t submitted = engine_.submittedCount();
+        const size_t started = engine_.startedCount();
+        const size_t finished = engine_.finishedCount();
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        const double rate =
+            elapsed > 0.0
+                ? static_cast<double>(finished - finished_at_start) /
+                      elapsed
+                : 0.0;
+        const size_t remaining = submitted - finished;
+        // Opt-in progress, not logging: print unconditionally on
+        // stderr like the bench progress lines, one line per tick.
+        if (rate > 0.0 && remaining > 0) {
+            std::fprintf(
+                stderr,
+                "stats: %zu/%zu done, %zu in-flight, %zu queued, "
+                "%.2f jobs/s, ETA %.0fs\n",
+                finished, submitted, started - finished,
+                submitted - started, rate,
+                static_cast<double>(remaining) / rate);
+        } else {
+            std::fprintf(stderr,
+                         "stats: %zu/%zu done, %zu in-flight, "
+                         "%zu queued, %.2f jobs/s\n",
+                         finished, submitted, started - finished,
+                         submitted - started, rate);
+        }
+        logDebug("stats snapshot:\n", formatStatsSnapshot(engine_));
+    }
+}
+
+} // namespace tetris

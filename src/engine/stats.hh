@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Live engine stats: a periodic progress reporter and the
+ * /metrics-style snapshot formatter.
+ *
+ * StatsReporter is the long-sweep companion: with
+ * TETRIS_STATS_INTERVAL=<seconds> set (bench_util wires it around
+ * every sweep), a background thread prints one line per interval —
+ * finished/submitted, in-flight and queued jobs, throughput, and an
+ * ETA — so a 30-minute table2 run is observable without a trace.
+ *
+ * formatStatsSnapshot() renders the same state as a text-exposition
+ * document (one `tetris_*` sample per line, Prometheus-style): it is
+ * the body the planned `tetrisd` daemon will serve from its /metrics
+ * endpoint, and what the reporter's final summary prints at debug
+ * level.
+ */
+
+#ifndef TETRIS_ENGINE_STATS_HH
+#define TETRIS_ENGINE_STATS_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace tetris
+{
+
+class Engine;
+
+/**
+ * Render the engine's live counters, timers, and histogram
+ * percentiles as Prometheus-style text: `tetris_jobs_submitted 40`,
+ * `tetris_seconds{name="compile.total"} 1.25`,
+ * `tetris_histogram_ns{name="job.latency_ns",quantile="0.99"} ...`.
+ */
+std::string formatStatsSnapshot(const Engine &engine);
+
+class StatsReporter
+{
+  public:
+    /**
+     * Start reporting on `engine` every `interval_seconds`;
+     * <= 0 disables (no thread). The engine must outlive the
+     * reporter. The default interval comes from
+     * TETRIS_STATS_INTERVAL.
+     */
+    explicit StatsReporter(const Engine &engine,
+                           double interval_seconds = intervalFromEnv());
+
+    /** Stops and joins the reporting thread. */
+    ~StatsReporter();
+
+    StatsReporter(const StatsReporter &) = delete;
+    StatsReporter &operator=(const StatsReporter &) = delete;
+
+    /** Stop early (idempotent; the destructor calls it). */
+    void stop();
+
+    bool active() const { return thread_.joinable(); }
+
+    /**
+     * TETRIS_STATS_INTERVAL in seconds: strict integer in
+     * [1, 86400]; unset or 0 disables, anything else warns and
+     * disables.
+     */
+    static double intervalFromEnv();
+
+  private:
+    void loop();
+
+    const Engine &engine_;
+    const double interval_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+    std::thread thread_;
+};
+
+} // namespace tetris
+
+#endif // TETRIS_ENGINE_STATS_HH

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/env.hh"
+#include "common/log.hh"
 #include "common/logging.hh"
 
 namespace tetris
@@ -81,9 +82,9 @@ ThreadPool::resolveThreadCount(int requested)
     if (const char *env = std::getenv("TETRIS_ENGINE_THREADS")) {
         if (int n = parseEnvInt(env, 1, 4096))
             return n;
-        warn("ignoring invalid TETRIS_ENGINE_THREADS='", env,
-             "' (want an integer in [1, 4096]); using hardware "
-             "concurrency");
+        logWarn("ignoring invalid TETRIS_ENGINE_THREADS='", env,
+                "' (want an integer in [1, 4096]); using hardware "
+                "concurrency");
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);

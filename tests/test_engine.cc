@@ -854,6 +854,117 @@ TEST(Metrics, CountersTimersAndScopedTimer)
     EXPECT_DOUBLE_EQ(reg.seconds("phase.a"), 0.0);
 }
 
+TEST(Metrics, HandlesMergeWithStringKeys)
+{
+    MetricsRegistry reg;
+    // The same logical instrument updated through both paths reads
+    // back as one total, from either API.
+    MetricsRegistry::Handle events = reg.counterHandle("events");
+    reg.addCount(events, 2);
+    reg.addCount("events", 3);
+    EXPECT_EQ(reg.count("events"), 5u);
+    EXPECT_EQ(reg.counts().at("events"), 5u);
+
+    MetricsRegistry::Handle t = reg.timerHandle("phase.hot");
+    reg.addSeconds(t, 1.5);
+    reg.addSeconds("phase.hot", 0.5);
+    EXPECT_NEAR(reg.seconds("phase.hot"), 2.0, 1e-6);
+    EXPECT_NEAR(reg.timers().at("phase.hot"), 2.0, 1e-6);
+
+    // Interning is idempotent; the handle survives clear().
+    EXPECT_EQ(reg.counterHandle("events"), events);
+    reg.clear();
+    EXPECT_EQ(reg.count("events"), 0u);
+    reg.addCount(events);
+    EXPECT_EQ(reg.count("events"), 1u);
+
+    {
+        ScopedTimer timer(reg, reg.timerHandle("phase.scoped"));
+    }
+    EXPECT_GE(reg.seconds("phase.scoped"), 0.0);
+}
+
+TEST(Metrics, HistogramsInRegistry)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("job.latency_ns");
+    EXPECT_EQ(&reg.histogram("job.latency_ns"), &h); // stable ref
+    h.record(100);
+    h.record(200000);
+
+    auto snaps = reg.histogramSnapshots();
+    ASSERT_EQ(snaps.count("job.latency_ns"), 1u);
+    EXPECT_EQ(snaps["job.latency_ns"].count, 2u);
+    EXPECT_EQ(snaps["job.latency_ns"].max, 200000u);
+    EXPECT_LE(snaps["job.latency_ns"].p50,
+              snaps["job.latency_ns"].p99);
+
+    std::string doc = reg.toJson();
+    EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(doc.find("\"job.latency_ns\""), std::string::npos);
+    EXPECT_NE(doc.find("\"p99\""), std::string::npos);
+    EXPECT_NE(doc.find("\"buckets\""), std::string::npos);
+
+    reg.clear();
+    EXPECT_EQ(reg.histogramSnapshots()["job.latency_ns"].count, 0u);
+}
+
+TEST(Metrics, PercentilesSurviveBucketRoundTrip)
+{
+    // The BENCH_*.json histogram section carries the sparse bucket
+    // array; percentiles recomputed from those counts alone must
+    // reproduce the emitted p50/p90/p99 exactly. That holds because
+    // percentile() is a pure function of the bucket counts.
+    Histogram original;
+    uint64_t state = 88172645463325252ull;
+    for (int i = 0; i < 5000; ++i) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        original.record(state % 10000000);
+    }
+
+    Histogram rebuilt;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+        uint64_t n = original.bucketCount(i);
+        for (uint64_t k = 0; k < n; ++k)
+            rebuilt.record(Histogram::bucketUpperBound(i));
+    }
+
+    EXPECT_EQ(rebuilt.count(), original.count());
+    for (double p : {0.5, 0.9, 0.99}) {
+        EXPECT_EQ(rebuilt.percentile(p), original.percentile(p))
+            << "p=" << p;
+    }
+}
+
+TEST(Engine, LatencyHistogramsCoverEveryDequeuedJob)
+{
+    Engine engine;
+    auto results = engine.compileAll(mixedJobs());
+    ASSERT_FALSE(results.empty());
+
+    auto snaps = engine.metrics().histogramSnapshots();
+    const auto &latency = snaps.at("job.latency_ns");
+    const auto &queue_wait = snaps.at("job.queue_wait_ns");
+    // One sample per dequeued (non-deduplicated) submission.
+    const uint64_t dequeued =
+        engine.metrics().count("jobs.submitted") -
+        engine.metrics().count("jobs.deduplicated");
+    EXPECT_EQ(latency.count, dequeued);
+    EXPECT_EQ(queue_wait.count, dequeued);
+    EXPECT_GT(latency.sum, 0u);
+    EXPECT_LE(latency.p50, latency.p90);
+    EXPECT_LE(latency.p90, latency.p99);
+
+    // The trajectory JSON exposes the same distributions.
+    std::string doc = engine.metrics().toJson();
+    EXPECT_NE(doc.find("\"job.latency_ns\""), std::string::npos);
+    EXPECT_NE(doc.find("\"job.queue_wait_ns\""), std::string::npos);
+    // And the cache lock-wait histogram is wired (possibly empty).
+    EXPECT_NE(doc.find("\"cache.lock_wait_ns\""), std::string::npos);
+}
+
 TEST(Json, WriterBasics)
 {
     JsonWriter w;
