@@ -15,7 +15,9 @@
 #include "common/rng.hh"
 #include "core/compiler.hh"
 #include "hardware/topologies.hh"
+#include "pauli/pauli_ref.hh"
 #include "router/router.hh"
+#include "verify/pauli_frame.hh"
 
 namespace
 {
@@ -33,6 +35,134 @@ BM_PauliStringMul(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PauliStringMul);
+
+// ---- packed bit-plane kernels vs the byte-per-qubit reference ------
+// Same random inputs on both sides; state.range(0) is the qubit
+// count, spanning one word (16, 64) and multi-word (256) strings.
+
+pauli_ref::ByteString
+randomByteString(Rng &rng, size_t n)
+{
+    static constexpr PauliOp kOps[4] = {PauliOp::I, PauliOp::X,
+                                        PauliOp::Y, PauliOp::Z};
+    pauli_ref::ByteString s(n);
+    for (size_t q = 0; q < n; ++q)
+        s[q] = kOps[rng.uniformInt(0, 3)];
+    return s;
+}
+
+void
+BM_PauliCommutePacked(benchmark::State &state)
+{
+    Rng rng(11);
+    const size_t n = static_cast<size_t>(state.range(0));
+    PauliString a(randomByteString(rng, n));
+    PauliString b(randomByteString(rng, n));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.commutesWith(b));
+}
+BENCHMARK(BM_PauliCommutePacked)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_PauliCommuteByte(benchmark::State &state)
+{
+    Rng rng(11);
+    const size_t n = static_cast<size_t>(state.range(0));
+    pauli_ref::ByteString a = randomByteString(rng, n);
+    pauli_ref::ByteString b = randomByteString(rng, n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pauli_ref::commutes(a, b));
+}
+BENCHMARK(BM_PauliCommuteByte)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_PauliProductPacked(benchmark::State &state)
+{
+    Rng rng(13);
+    const size_t n = static_cast<size_t>(state.range(0));
+    PauliString a(randomByteString(rng, n));
+    PauliString acc(randomByteString(rng, n));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(acc.mulLeft(a));
+}
+BENCHMARK(BM_PauliProductPacked)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_PauliProductByte(benchmark::State &state)
+{
+    Rng rng(13);
+    const size_t n = static_cast<size_t>(state.range(0));
+    pauli_ref::ByteString a = randomByteString(rng, n);
+    pauli_ref::ByteString acc = randomByteString(rng, n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pauli_ref::mulInto(a, acc));
+}
+BENCHMARK(BM_PauliProductByte)->Arg(16)->Arg(64)->Arg(256);
+
+std::vector<Gate>
+randomCliffords(Rng &rng, int qubits, int count)
+{
+    std::vector<Gate> gates;
+    gates.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const int q0 = rng.uniformInt(0, qubits - 1);
+        switch (rng.uniformInt(0, 2)) {
+          case 0:
+            gates.push_back(Gate::h(q0));
+            break;
+          case 1:
+            gates.push_back(Gate::s(q0));
+            break;
+          default: {
+            int q1 = rng.uniformInt(0, qubits - 1);
+            if (q1 == q0)
+                q1 = (q1 + 1) % qubits;
+            gates.push_back(Gate::cx(q0, q1));
+            break;
+          }
+        }
+    }
+    return gates;
+}
+
+void
+BM_TableauConjugatePacked(benchmark::State &state)
+{
+    Rng rng(17);
+    const int n = static_cast<int>(state.range(0));
+    auto gates = randomCliffords(rng, n, 256);
+    PauliFrame frame(n);
+    for (auto _ : state) {
+        for (const Gate &g : gates)
+            benchmark::DoNotOptimize(frame.applyGate(g));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(gates.size()));
+}
+BENCHMARK(BM_TableauConjugatePacked)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_TableauConjugateByte(benchmark::State &state)
+{
+    Rng rng(17);
+    const int n = static_cast<int>(state.range(0));
+    auto gates = randomCliffords(rng, n, 256);
+    pauli_ref::ByteFrame frame(n);
+    for (auto _ : state) {
+        for (const Gate &g : gates) {
+            if (g.kind == GateKind::H)
+                frame.applyH(g.q0);
+            else if (g.kind == GateKind::S)
+                frame.applyS(g.q0);
+            else
+                frame.applyCx(g.q0, g.q1);
+        }
+        benchmark::DoNotOptimize(frame.xSign.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(gates.size()));
+}
+BENCHMARK(BM_TableauConjugateByte)->Arg(16)->Arg(64)->Arg(256);
 
 void
 BM_DoubleExcitationJw(benchmark::State &state)

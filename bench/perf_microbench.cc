@@ -11,11 +11,16 @@
  *     sweep. This is the measurement behind the sharded-cache
  *     design: shards > 1 must beat the single-mutex configuration
  *     once >= 8 threads hammer the table.
- *  2. Persistent-store artifact load latency: cold (first load per
+ *  2. Packed bit-plane Pauli kernels (commutation, in-place product,
+ *     tableau conjugation) against the byte-per-qubit reference in
+ *     pauli_ref, at 16/64/256 qubits — the speedup claim behind the
+ *     data-oriented PauliString representation, reported as a
+ *     "pauli_kernels" section bench_diff.py trends.
+ *  3. Persistent-store artifact load latency: cold (first load per
  *     key) vs warm (repeat loads) through the zero-copy mmap path,
  *     plus the buffered fallback (TETRIS_DISK_MMAP=0) for
  *     comparison.
- *  3. An engine-level cold/warm sweep against a private store: the
+ *  4. An engine-level cold/warm sweep against a private store: the
  *     warm run must recompile nothing (asserted by smoke.sh from the
  *     JSON) and serve every hit through the mmap path.
  *
@@ -38,13 +43,17 @@
 #include <unistd.h>
 
 #include "bench_util.hh"
+#include "circuit/gate.hh"
 #include "common/hash.hh"
 #include "common/json.hh"
+#include "common/rng.hh"
 #include "engine/compile_cache.hh"
 #include "engine/disk_cache.hh"
 #include "engine/engine.hh"
 #include "engine/trace.hh"
+#include "pauli/pauli_ref.hh"
 #include "serialize/mmap_file.hh"
+#include "verify/pauli_frame.hh"
 
 namespace fs = std::filesystem;
 
@@ -83,9 +92,10 @@ struct SweepRow
 
 /**
  * Hammer one CompileCache configuration with a pure-hit workload:
- * every key is pre-published, so each operation is exactly one
- * shard-mutex acquisition plus a table lookup — the path a warm
- * sweep's deduplicated submissions take.
+ * every key is pre-published, so each operation is one lock-free
+ * probe of the shard's published read view — the path a warm sweep's
+ * deduplicated submissions take. No mutex is ever touched, so
+ * lock_wait_ns must report exactly zero (smoke.sh asserts this).
  */
 SweepRow
 runCacheSweep(int shards, int threads, uint64_t ops_per_thread)
@@ -145,7 +155,167 @@ runCacheSweep(int shards, int threads, uint64_t ops_per_thread)
     return row;
 }
 
-// ---- 2. artifact load latency --------------------------------------
+// ---- 2. packed vs byte-wise Pauli kernels --------------------------
+
+/** Defeats dead-code elimination of the benchmark loops. */
+volatile uint64_t g_pauli_sink = 0;
+
+/** ns/op of `body` (which returns a value folded into the sink). */
+template <typename F>
+double
+nsPerOp(uint64_t iters, F &&body)
+{
+    uint64_t acc = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < iters; ++i)
+        acc += body(i);
+    double ns = secondsSince(t0) * 1e9 / static_cast<double>(iters);
+    g_pauli_sink = acc;
+    return ns;
+}
+
+pauli_ref::ByteString
+randomByteString(Rng &rng, size_t n)
+{
+    static constexpr PauliOp kOps[4] = {PauliOp::I, PauliOp::X,
+                                        PauliOp::Y, PauliOp::Z};
+    pauli_ref::ByteString s(n);
+    for (size_t q = 0; q < n; ++q)
+        s[q] = kOps[rng.uniformInt(0, 3)];
+    return s;
+}
+
+struct KernelRow
+{
+    const char *kernel;
+    int qubits;
+    uint64_t iters;
+    double packedNs = 0.0;
+    double byteNs = 0.0;
+
+    double speedup() const
+    {
+        return packedNs > 0.0 ? byteNs / packedNs : 0.0;
+    }
+};
+
+/**
+ * Time the three hot Pauli kernels — commutation check, in-place
+ * string product, and tableau (frame) conjugation — on the packed
+ * bit-plane representation against the byte-per-qubit reference, on
+ * identical random inputs. This is the measurement behind the
+ * data-oriented repacking: the packed kernels must not merely win,
+ * they must win by the word-parallelism factor once strings span
+ * multiple words.
+ */
+std::vector<KernelRow>
+runPauliKernels(bool quick)
+{
+    constexpr size_t kPairs = 64;
+    const uint64_t iters = quick ? 50000 : 500000;
+    const int conj_gates = 256;
+    const uint64_t conj_rounds = quick ? 50 : 400;
+
+    std::vector<KernelRow> rows;
+    for (int qubits : {16, 64, 256}) {
+        Rng rng(0x7e7215u + static_cast<uint64_t>(qubits));
+        const size_t n = static_cast<size_t>(qubits);
+        std::vector<pauli_ref::ByteString> byte_a, byte_b;
+        std::vector<PauliString> packed_a, packed_b;
+        for (size_t p = 0; p < kPairs; ++p) {
+            byte_a.push_back(randomByteString(rng, n));
+            byte_b.push_back(randomByteString(rng, n));
+            packed_a.emplace_back(byte_a.back());
+            packed_b.emplace_back(byte_b.back());
+        }
+
+        KernelRow commute{"commute", qubits, iters};
+        commute.packedNs = nsPerOp(iters, [&](uint64_t i) {
+            const size_t p = i % kPairs;
+            return static_cast<uint64_t>(
+                packed_a[p].commutesWith(packed_b[p]));
+        });
+        commute.byteNs = nsPerOp(iters, [&](uint64_t i) {
+            const size_t p = i % kPairs;
+            return static_cast<uint64_t>(
+                pauli_ref::commutes(byte_a[p], byte_b[p]));
+        });
+        rows.push_back(commute);
+
+        // In-place products so both sides measure the kernel loop,
+        // not the allocator. Repeated application keeps the scratch
+        // operands valid Pauli strings, so the work never degrades.
+        KernelRow product{"product", qubits, iters};
+        std::vector<PauliString> packed_scratch = packed_b;
+        product.packedNs = nsPerOp(iters, [&](uint64_t i) {
+            const size_t p = i % kPairs;
+            return static_cast<uint64_t>(
+                packed_scratch[p].mulLeft(packed_a[p]));
+        });
+        std::vector<pauli_ref::ByteString> byte_scratch = byte_b;
+        product.byteNs = nsPerOp(iters, [&](uint64_t i) {
+            const size_t p = i % kPairs;
+            return static_cast<uint64_t>(
+                pauli_ref::mulInto(byte_a[p], byte_scratch[p]));
+        });
+        rows.push_back(product);
+
+        // Tableau conjugation: push one random Clifford sequence
+        // through the packed PauliFrame and the byte-wise ByteFrame.
+        std::vector<Gate> gates;
+        gates.reserve(static_cast<size_t>(conj_gates));
+        for (int g = 0; g < conj_gates; ++g) {
+            const int q0 = rng.uniformInt(0, qubits - 1);
+            switch (rng.uniformInt(0, 2)) {
+              case 0:
+                gates.push_back(Gate::h(q0));
+                break;
+              case 1:
+                gates.push_back(Gate::s(q0));
+                break;
+              default: {
+                int q1 = rng.uniformInt(0, qubits - 1);
+                if (q1 == q0)
+                    q1 = (q1 + 1) % qubits;
+                gates.push_back(Gate::cx(q0, q1));
+                break;
+              }
+            }
+        }
+
+        const uint64_t conj_ops =
+            conj_rounds * static_cast<uint64_t>(conj_gates);
+        KernelRow conj{"conjugate", qubits, conj_ops};
+        PauliFrame frame(qubits);
+        conj.packedNs = nsPerOp(conj_rounds, [&](uint64_t) {
+                            uint64_t acc = 0;
+                            for (const Gate &g : gates)
+                                acc += static_cast<uint64_t>(
+                                    frame.applyGate(g));
+                            return acc;
+                        }) /
+                        static_cast<double>(conj_gates);
+        pauli_ref::ByteFrame byte_frame(qubits);
+        conj.byteNs = nsPerOp(conj_rounds, [&](uint64_t) {
+                          uint64_t acc = 0;
+                          for (const Gate &g : gates) {
+                              if (g.kind == GateKind::H)
+                                  byte_frame.applyH(g.q0);
+                              else if (g.kind == GateKind::S)
+                                  byte_frame.applyS(g.q0);
+                              else
+                                  byte_frame.applyCx(g.q0, g.q1);
+                              ++acc;
+                          }
+                          return acc;
+                      }) /
+                      static_cast<double>(conj_gates);
+        rows.push_back(conj);
+    }
+    return rows;
+}
+
+// ---- 3. artifact load latency --------------------------------------
 
 struct LoadStats
 {
@@ -233,14 +403,37 @@ main()
     w.endArray();
     w.endObject();
 
-    // ---- private artifact store for sections 2 and 3 ---------------
+    // ---- 2. packed vs byte-wise Pauli kernels ----------------------
+    {
+        std::printf("\npauli kernels (packed vs byte-wise):\n");
+        w.key("pauli_kernels").beginObject();
+        w.key("rows").beginArray();
+        for (const KernelRow &row : runPauliKernels(quick)) {
+            std::printf("  %-9s n=%-4d packed %8.2f ns  byte %9.2f ns"
+                        "  speedup %6.1fx\n",
+                        row.kernel, row.qubits, row.packedNs,
+                        row.byteNs, row.speedup());
+            w.beginObject();
+            w.key("kernel").value(row.kernel);
+            w.key("qubits").value(row.qubits);
+            w.key("iters").value(row.iters);
+            w.key("packed_ns").value(row.packedNs);
+            w.key("byte_ns").value(row.byteNs);
+            w.key("speedup").value(row.speedup());
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+
+    // ---- private artifact store for sections 3 and 4 ---------------
     fs::path store_root =
         fs::temp_directory_path() /
         ("tetris-perf-" + std::to_string(::getpid()));
     std::error_code ec;
     fs::remove_all(store_root, ec);
 
-    // ---- 2. artifact load latency: cold / warm / buffered ----------
+    // ---- 3. artifact load latency: cold / warm / buffered ----------
     {
         auto store = DiskCache::open(store_root.string());
         if (store == nullptr) {
@@ -302,7 +495,7 @@ main()
         store->clear();
     }
 
-    // ---- 3. engine-level cold/warm sweep ---------------------------
+    // ---- 4. engine-level cold/warm sweep ---------------------------
     {
         auto make_jobs = [&] {
             std::vector<CompileJob> jobs;
@@ -363,7 +556,7 @@ main()
         w.endObject();
     }
 
-    // ---- 4. instrument overhead ------------------------------------
+    // ---- 5. instrument overhead ------------------------------------
     // ns/op for each observability primitive, measured tight-loop on
     // one thread: the string-keyed metrics path (map lookup under the
     // registry mutex), the interned-handle path (one relaxed atomic

@@ -14,9 +14,12 @@ Perf trajectories (BENCH_perf.json, "schema": "perf-v1", written by
 bench/perf_microbench) are diffed with different rules, because raw
 timing is machine- and load-dependent:
   - WARN-only: throughput (ops_per_sec) or latency (avg_ns) moving
-    by more than --tolerance percent in the bad direction;
+    by more than --tolerance percent in the bad direction, and the
+    pauli_kernels rows (packed kernel ns/op rising, or the
+    packed-vs-byte speedup shrinking);
   - FAIL: configuration or semantics drift — the (shards, threads)
-    sweep grid changed, the default shard count changed, mmap
+    sweep grid changed, the (kernel, qubits) pauli grid changed or
+    the section disappeared, the default shard count changed, mmap
     availability flipped, the warm engine run recompiled anything,
     or warm hits stopped being served from the store. When the two
     artifacts report different hardware_concurrency (different
@@ -84,6 +87,14 @@ def sweep_grid(doc):
     return {
         (row.get("shards"), row.get("threads"))
         for row in doc.get("cache", {}).get("sweeps", [])
+    }
+
+
+def kernel_rows(doc):
+    """{(kernel, qubits): row} from the pauli_kernels section."""
+    return {
+        (row.get("kernel"), row.get("qubits")): row
+        for row in doc.get("pauli_kernels", {}).get("rows", [])
     }
 
 
@@ -168,6 +179,45 @@ def diff_perf(base, cand, tolerance):
                 f"{phase} artifact load {old:.0f} -> {new:.0f} ns "
                 f"(+{pct:.1f}%)"
             )
+
+    # --- pauli kernel trend: grid drifts fail, timing warns ----------
+    # The (kernel, qubits) grid is code-derived, but older baselines
+    # predate the section entirely, so a missing *baseline* section
+    # is only a note; a candidate that *dropped* the section drifted.
+    base_kernels, cand_kernels = kernel_rows(base), kernel_rows(cand)
+    if base_kernels and not cand_kernels:
+        drift("pauli_kernels section disappeared from the candidate")
+    elif cand_kernels and not base_kernels:
+        print(
+            "note: baseline predates the pauli_kernels section; "
+            "no kernel trend to compare"
+        )
+    elif base_kernels:
+        if set(base_kernels) != set(cand_kernels):
+            drift(
+                "pauli kernel grid drifted: "
+                f"baseline {sorted(base_kernels)} vs "
+                f"candidate {sorted(cand_kernels)}"
+            )
+        for key in sorted(base_kernels.keys() & cand_kernels.keys()):
+            kernel, qubits = key
+            old_row, new_row = base_kernels[key], cand_kernels[key]
+            old_ns = old_row.get("packed_ns")
+            new_ns = new_row.get("packed_ns")
+            if old_ns and new_ns and new_ns > old_ns * slack:
+                pct = 100.0 * (new_ns - old_ns) / old_ns
+                warnings.append(
+                    f"{kernel}@{qubits}q: packed kernel "
+                    f"{old_ns:.2f} -> {new_ns:.2f} ns (+{pct:.1f}%)"
+                )
+            old_sp = old_row.get("speedup")
+            new_sp = new_row.get("speedup")
+            if old_sp and new_sp and new_sp * slack < old_sp:
+                pct = 100.0 * (old_sp - new_sp) / old_sp
+                warnings.append(
+                    f"{kernel}@{qubits}q: packed-vs-byte speedup "
+                    f"{old_sp:.1f}x -> {new_sp:.1f}x (-{pct:.1f}%)"
+                )
 
     for message in warnings:
         print(f"perf warning (timing, not failing): {message}")

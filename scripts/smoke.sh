@@ -10,9 +10,13 @@
 # the store and the warm run must recompile nothing (all disk hits).
 # A deliberately corrupted artifact must degrade to a miss, not an
 # error, and scripts/cache_tool.py + scripts/bench_diff.py must
-# operate on the resulting store/trajectories. The perf microbench
-# (sharded cache + mmap artifact reads) then runs its quick preset,
-# and its warm engine sweep must also do zero recompiles.
+# operate on the resulting store/trajectories. The warm run must
+# report zero contended cache lock waits (published hits are served
+# by the cache's lock-free read view). The perf microbench (sharded
+# cache + mmap artifact reads + packed Pauli kernels) then runs its
+# quick preset: its warm engine sweep must do zero recompiles, its
+# pure-hit cache sweeps must be lock-free, and the packed kernels
+# must hold their >=5x speedup at 64+ qubits.
 #
 # Observability: trajectories must carry the bench-v2 schema with
 # latency histograms, a TETRIS_TRACE run must produce a file that
@@ -105,7 +109,11 @@ print(f"smoke OK: cold run persisted {disk['writes']} artifact(s)")
 EOF
 cp build/BENCH_table2.json build/BENCH_table2.cold.json
 
-# Warm: identical run must deserialize everything, compiling nothing.
+# Warm: identical run must deserialize everything, compiling
+# nothing. Published in-memory hits go through the cache's lock-free
+# read view, so the warm sweep must also report zero contended cache
+# lock waits — nonzero here means the hit path regressed onto a
+# mutex.
 (cd build && TETRIS_CACHE_DIR="$warm_dir" ./table2_main)
 python3 - build/BENCH_table2.json <<'EOF'
 import json, sys
@@ -115,8 +123,12 @@ counts = doc["engine"]["counts"]
 assert disk["hits"] > 0, "warm run reported no disk-cache hits"
 assert counts.get("jobs.completed", 0) == 0, \
     f"warm run still compiled {counts.get('jobs.completed')} job(s)"
+lock_wait = counts.get("cache.lock_wait_ns", 0)
+assert lock_wait == 0, \
+    f"warm run saw {lock_wait} ns of contended cache lock waits " \
+    "(hit path must be lock-free)"
 print(f"smoke OK: warm run served {disk['hits']} job(s) from disk, "
-      "0 recompilations")
+      "0 recompilations, 0 ns contended cache lock wait")
 EOF
 
 # Identical runs must also diff clean.
@@ -162,9 +174,21 @@ if load["mmap_enabled"]:
     assert load["mmap_loads"] > 0, "mmap load path not exercised"
 assert load["buffered_loads"] > 0, "buffered fallback not exercised"
 assert doc["cache"]["sweeps"], "empty cache sweep"
+for sweep in doc["cache"]["sweeps"]:
+    assert sweep["lock_wait_ns"] == 0, \
+        f"pure-hit cache sweep reported {sweep['lock_wait_ns']} ns " \
+        "of lock wait (hit path must be lock-free)"
+rows = doc["pauli_kernels"]["rows"]
+assert rows, "pauli_kernels section is empty"
+slow = [r for r in rows
+        if r["qubits"] >= 64
+        and r["kernel"] in ("commute", "product")
+        and r["speedup"] < 5.0]
+assert not slow, f"packed Pauli kernels below 5x at >=64 qubits: {slow}"
 print("smoke OK: warm microbench did zero recompiles "
       f"({warm['disk_hits']} disk hit(s), "
-      f"{load['mmap_loads']} mmap load(s))")
+      f"{load['mmap_loads']} mmap load(s)); pure-hit sweeps "
+      "lock-free; packed Pauli kernels >=5x at 64+ qubits")
 EOF
 # A perf trajectory must diff clean against itself.
 python3 scripts/bench_diff.py \

@@ -6,6 +6,7 @@
 
 #include "chem/uccsd.hh"
 #include "circuit/peephole.hh"
+#include "common/arena.hh"
 #include "common/hash.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -115,8 +116,12 @@ compileTetris(const std::vector<PauliBlock> &blocks,
         // the largest active length; then repeatedly rank remaining
         // blocks by similarity to the last scheduled block, and among
         // the top-K pick the one with the cheapest root clustering
-        // under the live layout.
-        std::vector<size_t> remaining(ir.size());
+        // under the live layout. Both working sets live in a per-job
+        // arena: allocated once, recycled when the job ends.
+        Arena arena;
+        const ArenaAllocator<size_t> alloc(arena);
+        std::vector<size_t, ArenaAllocator<size_t>> remaining(ir.size(),
+                                                             0, alloc);
         std::iota(remaining.begin(), remaining.end(), 0);
 
         size_t first = 0;
@@ -132,7 +137,8 @@ compileTetris(const std::vector<PauliBlock> &blocks,
 
         const size_t k =
             std::max<size_t>(1, static_cast<size_t>(opts.lookaheadK));
-        std::vector<size_t> candidates;
+        std::vector<size_t, ArenaAllocator<size_t>> candidates(alloc);
+        candidates.reserve(ir.size());
         while (!remaining.empty()) {
             size_t take = std::min(k, remaining.size());
             candidates.assign(remaining.begin(), remaining.end());

@@ -1,7 +1,6 @@
 #include "core/synthesis.hh"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 
 #include "common/logging.hh"
@@ -12,29 +11,40 @@ namespace tetris
 namespace
 {
 
+// Arena-backed scratch containers. BFS queues are plain vectors
+// drained by a moving head index (nothing is ever popped), so the
+// deque's node allocations disappear entirely.
+using ScratchInts = std::vector<int, ArenaAllocator<int>>;
+using ScratchMarks = std::vector<char, ArenaAllocator<char>>;
+
 /** Connected components of the induced subgraph on `positions`. */
 std::vector<std::vector<int>>
-inducedComponents(const CouplingGraph &hw, const std::vector<int> &positions)
+inducedComponents(const CouplingGraph &hw, const ScratchInts &positions,
+                  Arena &arena)
 {
-    std::vector<bool> member(hw.numQubits(), false);
+    Arena::Frame frame(arena);
+    const ArenaAllocator<int> ints(arena);
+    ScratchMarks member(hw.numQubits(), 0, ArenaAllocator<char>(arena));
     for (int p : positions)
-        member[p] = true;
+        member[p] = 1;
 
-    std::vector<bool> seen(hw.numQubits(), false);
+    ScratchMarks seen(hw.numQubits(), 0, ArenaAllocator<char>(arena));
+    ScratchInts queue(ints);
+    queue.reserve(positions.size());
     std::vector<std::vector<int>> comps;
     for (int p : positions) {
         if (seen[p])
             continue;
         comps.emplace_back();
-        std::deque<int> queue{p};
-        seen[p] = true;
-        while (!queue.empty()) {
-            int u = queue.front();
-            queue.pop_front();
+        queue.clear();
+        queue.push_back(p);
+        seen[p] = 1;
+        for (size_t head = 0; head < queue.size(); ++head) {
+            int u = queue[head];
             comps.back().push_back(u);
             for (int v : hw.neighbors(u)) {
                 if (member[v] && !seen[v]) {
-                    seen[v] = true;
+                    seen[v] = 1;
                     queue.push_back(v);
                 }
             }
@@ -50,7 +60,7 @@ inducedComponents(const CouplingGraph &hw, const std::vector<int> &positions)
  */
 std::vector<int>
 pathToClusterFrontier(const CouplingGraph &hw, int start,
-                      const std::vector<bool> &cluster_mark)
+                      const ScratchMarks &cluster_mark, Arena &arena)
 {
     auto adjacent_to_cluster = [&](int v) {
         for (int u : hw.neighbors(v)) {
@@ -60,12 +70,15 @@ pathToClusterFrontier(const CouplingGraph &hw, int start,
         return false;
     };
 
-    std::vector<int> parent(hw.numQubits(), -2);
-    std::deque<int> queue{start};
+    Arena::Frame frame(arena);
+    const ArenaAllocator<int> ints(arena);
+    ScratchInts parent(hw.numQubits(), -2, ints);
+    ScratchInts queue(ints);
+    queue.reserve(hw.numQubits());
+    queue.push_back(start);
     parent[start] = -1;
-    while (!queue.empty()) {
-        int u = queue.front();
-        queue.pop_front();
+    for (size_t head = 0; head < queue.size(); ++head) {
+        int u = queue[head];
         if (adjacent_to_cluster(u)) {
             std::vector<int> path;
             for (int x = u; x != -1; x = parent[x])
@@ -109,22 +122,25 @@ BlockSynthesizer::growCluster(const std::vector<int> &logicals, int center,
 {
     TETRIS_ASSERT(!logicals.empty());
 
-    std::vector<bool> cluster_mark(hw_.numQubits(), false);
+    Arena::Frame frame(arena_);
+    const ArenaAllocator<int> ints(arena_);
+    ScratchMarks cluster_mark(hw_.numQubits(), 0,
+                              ArenaAllocator<char>(arena_));
     std::vector<int> cluster;
     std::vector<int> pending = logicals;
 
     auto add_to_cluster = [&](int pos) {
         cluster.push_back(pos);
-        cluster_mark[pos] = true;
+        cluster_mark[pos] = 1;
     };
 
     // Already connected? No SWAPs needed regardless of the center.
     {
-        std::vector<int> positions;
+        ScratchInts positions(ints);
         positions.reserve(pending.size());
         for (int q : pending)
             positions.push_back(layout.physOf(q));
-        auto comps = inducedComponents(hw_, positions);
+        auto comps = inducedComponents(hw_, positions, arena_);
         if (comps.size() == 1)
             return comps.front();
     }
@@ -146,11 +162,11 @@ BlockSynthesizer::growCluster(const std::vector<int> &logicals, int center,
         add_to_cluster(center);
     } else {
         // Seed with the largest already-connected component.
-        std::vector<int> positions;
+        ScratchInts positions(ints);
         positions.reserve(pending.size());
         for (int q : pending)
             positions.push_back(layout.physOf(q));
-        auto comps = inducedComponents(hw_, positions);
+        auto comps = inducedComponents(hw_, positions, arena_);
         size_t largest = 0;
         for (size_t i = 1; i < comps.size(); ++i) {
             if (comps[i].size() > comps[largest].size())
@@ -173,7 +189,7 @@ BlockSynthesizer::growCluster(const std::vector<int> &logicals, int center,
         std::vector<int> best_path;
         for (size_t i = 0; i < pending.size(); ++i) {
             std::vector<int> path = pathToClusterFrontier(
-                hw_, layout.physOf(pending[i]), cluster_mark);
+                hw_, layout.physOf(pending[i]), cluster_mark, arena_);
             if (path.empty())
                 continue;
             if (best_idx == pending.size() ||
@@ -197,23 +213,25 @@ BlockSynthesizer::buildBfsTree(const std::vector<int> &positions,
                                int root_pos, std::vector<int> &bfs_order,
                                std::vector<int> &parent) const
 {
-    std::vector<bool> member(hw_.numQubits(), false);
+    Arena::Frame frame(arena_);
+    ScratchMarks member(hw_.numQubits(), 0, ArenaAllocator<char>(arena_));
     for (int p : positions)
-        member[p] = true;
+        member[p] = 1;
     TETRIS_ASSERT(member[root_pos]);
 
     parent.assign(hw_.numQubits(), -1);
     bfs_order.clear();
-    std::vector<bool> seen(hw_.numQubits(), false);
-    std::deque<int> queue{root_pos};
-    seen[root_pos] = true;
-    while (!queue.empty()) {
-        int u = queue.front();
-        queue.pop_front();
+    ScratchMarks seen(hw_.numQubits(), 0, ArenaAllocator<char>(arena_));
+    ScratchInts queue{ArenaAllocator<int>(arena_)};
+    queue.reserve(positions.size());
+    queue.push_back(root_pos);
+    seen[root_pos] = 1;
+    for (size_t head = 0; head < queue.size(); ++head) {
+        int u = queue[head];
         bfs_order.push_back(u);
         for (int v : hw_.neighbors(u)) {
             if (member[v] && !seen[v]) {
-                seen[v] = true;
+                seen[v] = 1;
                 parent[v] = u;
                 queue.push_back(v);
             }
@@ -323,14 +341,15 @@ BlockSynthesizer::attachLeaves(const TetrisBlock &tb,
     const double w = opts_.swapWeight;
     const double num_ps = static_cast<double>(tb.numStrings());
 
-    std::vector<bool> blocked(hw_.numQubits(), false);
-    std::vector<bool> is_root_pos(hw_.numQubits(), false);
+    Arena::Frame frame(arena_);
+    ScratchMarks blocked(hw_.numQubits(), 0,
+                         ArenaAllocator<char>(arena_));
+    ScratchMarks is_root_pos(hw_.numQubits(), 0,
+                             ArenaAllocator<char>(arena_));
     for (int p : root_positions) {
-        blocked[p] = true;
-        is_root_pos[p] = true;
+        blocked[p] = 1;
+        is_root_pos[p] = 1;
     }
-    // Mapped tree targets: root nodes plus attached leaf/bridge nodes.
-    std::vector<int> targets = root_positions;
 
     std::vector<int> pending(tb.leafSet().begin(), tb.leafSet().end());
 
@@ -355,14 +374,17 @@ BlockSynthesizer::attachLeaves(const TetrisBlock &tb,
         // target yields a candidate attachment.
         auto scan = [&](size_t i, bool free_only) {
             int start = layout.physOf(pending[i]);
-            std::vector<int> parent(hw_.numQubits(), -2);
-            std::vector<int> dist(hw_.numQubits(), -1);
-            std::deque<int> queue{start};
+            Arena::Frame scan_frame(arena_);
+            const ArenaAllocator<int> ints(arena_);
+            ScratchInts parent(hw_.numQubits(), -2, ints);
+            ScratchInts dist(hw_.numQubits(), -1, ints);
+            ScratchInts queue(ints);
+            queue.reserve(hw_.numQubits());
+            queue.push_back(start);
             parent[start] = -1;
             dist[start] = 0;
-            while (!queue.empty()) {
-                int u = queue.front();
-                queue.pop_front();
+            for (size_t head = 0; head < queue.size(); ++head) {
+                int u = queue[head];
                 for (int t : hw_.neighbors(u)) {
                     if (!blocked[t])
                         continue;
@@ -416,21 +438,18 @@ BlockSynthesizer::attachLeaves(const TetrisBlock &tb,
                     {best.path[k - 1], best.path[k], false});
             }
             for (size_t k = 1; k < best.path.size(); ++k) {
-                blocked[best.path[k]] = true;
-                targets.push_back(best.path[k]);
+                blocked[best.path[k]] = 1;
                 result.bridgePositions.push_back(best.path[k]);
                 ++stats.bridgeNodes;
             }
-            blocked[best.path.front()] = true;
-            targets.push_back(best.path.front());
+            blocked[best.path.front()] = 1;
             result.leafPositions.emplace_back(q, best.path.front());
         } else {
             moveAlongPath(best.path, layout, circ, stats);
             int pos = layout.physOf(q);
             TETRIS_ASSERT(pos == best.path.back());
             result.edges.push_back({pos, best.target, target_is_root});
-            blocked[pos] = true;
-            targets.push_back(pos);
+            blocked[pos] = 1;
             result.leafPositions.emplace_back(q, pos);
         }
     }

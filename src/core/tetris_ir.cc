@@ -28,9 +28,16 @@ TetrisBlock::leafOp(size_t qubit) const
 bool
 TetrisBlock::hasUniformRootSupport() const
 {
+    if (rootSet_.empty())
+        return true;
+    // Root-occupancy mask once, then one masked word scan per string.
+    const size_t words = block_.strings().front().numWords();
+    std::vector<uint64_t> root_mask(words, 0);
+    for (size_t q : rootSet_)
+        root_mask[q >> 6] |= uint64_t{1} << (q & 63);
     for (const auto &s : block_.strings()) {
-        for (size_t q : rootSet_) {
-            if (s.op(q) == PauliOp::I)
+        for (size_t i = 0; i < words; ++i) {
+            if ((root_mask[i] & ~(s.xWords()[i] | s.zWords()[i])) != 0)
                 return false;
         }
     }
@@ -98,11 +105,7 @@ blockSimilarity(const TetrisBlock &a, const TetrisBlock &b)
     // cancellation. Scaled so it can never override Eq. 1.
     const PauliString &tail = a.block().strings().back();
     const PauliString &head = b.block().strings().front();
-    size_t boundary = 0;
-    for (size_t q = 0; q < tail.numQubits(); ++q) {
-        if (tail.op(q) != PauliOp::I && tail.op(q) == head.op(q))
-            ++boundary;
-    }
+    size_t boundary = PauliBlock::commonOperatorCount(tail, head);
     double tie = static_cast<double>(boundary) /
                  static_cast<double>(tail.numQubits() + 1);
     return eq1 + 1e-3 * tie;
@@ -126,14 +129,8 @@ reorderForConsecutiveSimilarity(const PauliBlock &block)
     }
 
     auto common = [&](size_t i, size_t j) {
-        const PauliString &a = block.string(i);
-        const PauliString &b = block.string(j);
-        size_t c = 0;
-        for (size_t q = 0; q < a.numQubits(); ++q) {
-            if (a.op(q) != PauliOp::I && a.op(q) == b.op(q))
-                ++c;
-        }
-        return c;
+        return PauliBlock::commonOperatorCount(block.string(i),
+                                               block.string(j));
     };
 
     std::vector<size_t> order{0};

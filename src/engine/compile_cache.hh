@@ -10,16 +10,24 @@
  * published (shared_ptr<const CompileResult>).
  *
  * The table is striped across N independently-locked shards (key
- * modulo shard count — jobKey output is already well mixed) so
- * lookups from many worker threads do not serialize behind a single
- * mutex. All dedup guarantees hold per key, and a key always maps to
- * exactly one shard, so sharding never changes observable semantics:
- * exactly one acquire() per key reports is_new, erase() targets the
- * one shard that can hold the key, and hit/miss accounting stays
- * global. Contention that does occur is measured: lockWaitNs() sums
- * the time threads spent blocked on shard mutexes (uncontended
- * acquisitions cost no clock reads), which the perf microbench and
- * the cache.lock_wait_ns metric expose.
+ * modulo shard count — jobKey output is already well mixed). On top
+ * of each shard's authoritative map sits a lock-free read view: an
+ * open-addressed slot array published through an atomic pointer.
+ * A hit on a published key never touches the shard mutex — readers
+ * acquire-load the view pointer, linear-probe with acquire loads of
+ * the slot states, and copy out the entry. Mutexes are retained only
+ * for the miss/insert/in-flight-dedup path and for erase/clear, so a
+ * pure-hit workload performs no lock acquisitions at all and
+ * lockWaitNs() stays exactly zero.
+ *
+ * All dedup guarantees hold per key, and a key always maps to exactly
+ * one shard, so sharding never changes observable semantics: exactly
+ * one acquire() per key reports is_new, erase() targets the one shard
+ * that can hold the key, and hit/miss accounting stays global (striped
+ * per-shard counters summed on read). Contention that does occur is
+ * measured: lockWaitNs() sums the time threads spent blocked on shard
+ * mutexes (uncontended acquisitions cost no clock reads), which the
+ * perf microbench and the cache.lock_wait_ns metric expose.
  */
 
 #ifndef TETRIS_ENGINE_COMPILE_CACHE_HH
@@ -31,6 +39,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/histogram.hh"
 #include "core/compiler.hh"
@@ -51,14 +60,18 @@ class CompileCache
         /** Publish the result and wake all waiters (call once). */
         void publish(std::shared_ptr<const CompileResult> result);
 
-        /** Block until published, then return the result. */
+        /**
+         * Return the result, blocking until published. Once the
+         * result is out, this is a single acquire load — waiters that
+         * arrive late never touch the entry mutex.
+         */
         std::shared_ptr<const CompileResult> get() const;
 
       private:
         mutable std::mutex mutex_;
         mutable std::condition_variable published_;
         std::shared_ptr<const CompileResult> result_;
-        bool ready_ = false;
+        std::atomic<bool> ready_{false};
     };
 
     /**
@@ -67,17 +80,22 @@ class CompileCache
      * concurrency.
      */
     explicit CompileCache(int num_shards = 0);
+    ~CompileCache();
+
+    CompileCache(const CompileCache &) = delete;
+    CompileCache &operator=(const CompileCache &) = delete;
 
     /**
      * Look up `key`, inserting an unpublished Entry if absent.
      * `is_new` tells the caller whether it must compute and publish
      * (miss) or merely wait on the returned entry (hit — including
-     * hits on entries still being computed).
+     * hits on entries still being computed). Hits on published keys
+     * are lock-free.
      */
     std::shared_ptr<Entry> acquire(uint64_t key, bool &is_new);
 
-    size_t hits() const { return hits_.load(); }
-    size_t misses() const { return misses_.load(); }
+    size_t hits() const;
+    size_t misses() const;
     size_t size() const;
 
     /**
@@ -116,10 +134,50 @@ class CompileCache
     static int resolveShardCount(int requested);
 
   private:
-    struct Shard
+    /**
+     * One slot of a shard's lock-free read view. The writer fills
+     * key/entry and then release-stores the state; readers that
+     * acquire-load a non-empty state may touch the other fields.
+     * After that a slot is immutable except for the kDead tombstone,
+     * so a concurrent reader can always safely copy `entry`.
+     */
+    struct Slot
+    {
+        std::atomic<uint8_t> state{0}; // kEmpty / kFull / kDead
+        uint64_t key = 0;
+        std::shared_ptr<Entry> entry;
+    };
+
+    /**
+     * An open-addressed, power-of-two-sized probe array. Published
+     * views only ever gain kFull slots or see kFull become kDead;
+     * superseded views are retired (kept allocated, never mutated)
+     * until the cache dies, so readers holding a stale pointer stay
+     * safe without reference counting on the hot path.
+     */
+    struct View
+    {
+        explicit View(size_t capacity)
+            : mask(capacity - 1), slots(capacity)
+        {
+        }
+
+        size_t mask;
+        std::vector<Slot> slots;
+        /** kFull + kDead slots; writer-side only (under the mutex). */
+        size_t used = 0;
+    };
+
+    struct alignas(64) Shard
     {
         mutable std::mutex mutex;
         std::unordered_map<uint64_t, std::shared_ptr<Entry>> entries;
+        std::atomic<View *> view{nullptr};
+        /** Views superseded by rehash/clear; freed by ~CompileCache. */
+        std::vector<std::unique_ptr<View>> retired;
+        /** Striped counters (summed by hits()/misses()). */
+        std::atomic<size_t> hits{0};
+        std::atomic<size_t> misses{0};
     };
 
     Shard &shardFor(uint64_t key) const
@@ -130,13 +188,27 @@ class CompileCache
     /** Lock a shard, accumulating blocked time into lockWaitNs_. */
     std::unique_lock<std::mutex> lockShard(const Shard &shard) const;
 
+    /** Lock-free probe of the published view. Null on miss. */
+    static std::shared_ptr<Entry> findInView(const Shard &shard,
+                                             uint64_t key);
+
+    /** Writer-side (shard locked): add key to the live view,
+     *  rehashing first if the load factor would exceed 3/4. */
+    static void publishToView(Shard &shard, uint64_t key,
+                              std::shared_ptr<Entry> entry);
+
+    /** Writer-side (shard locked): tombstone key in the live view. */
+    static void tombstoneInView(Shard &shard, uint64_t key);
+
+    /** Writer-side (shard locked): swap in a fresh view rebuilt from
+     *  the authoritative map, retiring the old one. */
+    static void rebuildView(Shard &shard, size_t capacity);
+
     int numShards_;
     std::unique_ptr<Shard[]> shards_;
     mutable std::atomic<uint64_t> lockWaitNs_{0};
     /** Optional per-wait distribution; see setLockWaitHistogram. */
     Histogram *lockWaitHist_ = nullptr;
-    std::atomic<size_t> hits_{0};
-    std::atomic<size_t> misses_{0};
 };
 
 } // namespace tetris

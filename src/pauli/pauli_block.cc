@@ -1,12 +1,32 @@
 #include "pauli/pauli_block.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace tetris
 {
+
+namespace
+{
+
+/** Append the qubit indices of every set bit in `mask`, ascending. */
+void
+appendSetBits(const std::vector<uint64_t> &mask, std::vector<size_t> &out)
+{
+    for (size_t i = 0; i < mask.size(); ++i) {
+        uint64_t w = mask[i];
+        while (w != 0) {
+            out.push_back(i * 64 +
+                          static_cast<size_t>(std::countr_zero(w)));
+            w &= w - 1;
+        }
+    }
+}
+
+} // namespace
 
 PauliBlock::PauliBlock(std::vector<PauliString> strings, double theta)
     : strings_(std::move(strings)), weights_(strings_.size(), 1.0),
@@ -34,18 +54,16 @@ PauliBlock::numQubits() const
 std::vector<size_t>
 PauliBlock::support() const
 {
-    std::vector<bool> active(numQubits(), false);
-    for (const auto &s : strings_) {
-        for (size_t q = 0; q < s.numQubits(); ++q) {
-            if (s.op(q) != PauliOp::I)
-                active[q] = true;
-        }
-    }
     std::vector<size_t> out;
-    for (size_t q = 0; q < active.size(); ++q) {
-        if (active[q])
-            out.push_back(q);
+    if (strings_.empty())
+        return out;
+    // Union of supports: OR every string's occupancy plane.
+    std::vector<uint64_t> active(strings_.front().numWords(), 0);
+    for (const auto &s : strings_) {
+        for (size_t i = 0; i < active.size(); ++i)
+            active[i] |= s.xWords()[i] | s.zWords()[i];
     }
+    appendSetBits(active, out);
     return out;
 }
 
@@ -54,20 +72,19 @@ PauliBlock::commonQubits() const
 {
     std::vector<size_t> out;
     const PauliString &first = strings_.front();
-    for (size_t q = 0; q < numQubits(); ++q) {
-        PauliOp p = first.op(q);
-        if (p == PauliOp::I)
-            continue;
-        bool common = true;
-        for (size_t i = 1; i < strings_.size(); ++i) {
-            if (strings_[i].op(q) != p) {
-                common = false;
-                break;
-            }
+    // Start from the first string's non-identity qubits and knock
+    // out every qubit where another string's (x, z) pair differs.
+    std::vector<uint64_t> common(first.numWords());
+    for (size_t i = 0; i < common.size(); ++i)
+        common[i] = first.xWords()[i] | first.zWords()[i];
+    for (size_t k = 1; k < strings_.size(); ++k) {
+        const PauliString &s = strings_[k];
+        for (size_t i = 0; i < common.size(); ++i) {
+            common[i] &= ~(first.xWords()[i] ^ s.xWords()[i]) &
+                         ~(first.zWords()[i] ^ s.zWords()[i]);
         }
-        if (common)
-            out.push_back(q);
     }
+    appendSetBits(common, out);
     return out;
 }
 
@@ -86,10 +103,16 @@ size_t
 PauliBlock::commonOperatorCount(const PauliString &a, const PauliString &b)
 {
     TETRIS_ASSERT(a.numQubits() == b.numQubits());
+    // Count qubits that are non-identity in `a` and where both (x, z)
+    // pairs agree; padding bits are zero in both planes, so the
+    // occupancy mask already excludes them.
     size_t c = 0;
-    for (size_t q = 0; q < a.numQubits(); ++q) {
-        if (a.op(q) != PauliOp::I && a.op(q) == b.op(q))
-            ++c;
+    for (size_t i = 0; i < a.numWords(); ++i) {
+        const uint64_t same =
+            ~(a.xWords()[i] ^ b.xWords()[i]) &
+            ~(a.zWords()[i] ^ b.zWords()[i]);
+        c += static_cast<size_t>(std::popcount(
+            (a.xWords()[i] | a.zWords()[i]) & same));
     }
     return c;
 }
@@ -97,11 +120,17 @@ PauliBlock::commonOperatorCount(const PauliString &a, const PauliString &b)
 uint64_t
 PauliBlock::contentHash() const
 {
+    // Word-wide FNV-style mixing over the bit-planes; one multiply
+    // per 64 qubits instead of one per qubit. Content-equal blocks
+    // still hash equal: the planes are a pure function of the
+    // per-qubit operators (padding is zeroed by invariant).
     uint64_t h = fnvMix(kFnvOffset, strings_.size());
     for (const auto &s : strings_) {
         h = fnvMix(h, s.numQubits());
-        for (size_t q = 0; q < s.numQubits(); ++q)
-            h = fnvMix(h, static_cast<uint8_t>(s.op(q)));
+        for (size_t i = 0; i < s.numWords(); ++i) {
+            h = (h ^ s.xWords()[i]) * kFnvPrime;
+            h = (h ^ s.zWords()[i]) * kFnvPrime;
+        }
     }
     for (double w : weights_)
         h = fnvMix(h, w);

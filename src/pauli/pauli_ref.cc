@@ -1,0 +1,117 @@
+#include "pauli/pauli_ref.hh"
+
+#include "common/logging.hh"
+
+namespace tetris::pauli_ref
+{
+
+bool
+commutes(const ByteString &a, const ByteString &b)
+{
+    TETRIS_ASSERT(a.size() == b.size());
+    size_t anti = 0;
+    for (size_t q = 0; q < a.size(); ++q) {
+        if (!tetris::commutes(a[q], b[q]))
+            ++anti;
+    }
+    return anti % 2 == 0;
+}
+
+size_t
+weight(const ByteString &s)
+{
+    size_t w = 0;
+    for (PauliOp p : s) {
+        if (p != PauliOp::I)
+            ++w;
+    }
+    return w;
+}
+
+Product
+mul(const ByteString &a, const ByteString &b)
+{
+    TETRIS_ASSERT(a.size() == b.size());
+    Product out;
+    out.ops.resize(a.size());
+    unsigned phase = 0;
+    for (size_t q = 0; q < a.size(); ++q) {
+        PauliProduct p = mulPauli(a[q], b[q]);
+        out.ops[q] = p.op;
+        phase += p.phaseExp;
+    }
+    out.phaseExp = static_cast<uint8_t>(phase % 4);
+    return out;
+}
+
+uint8_t
+mulInto(const ByteString &a, ByteString &acc)
+{
+    TETRIS_ASSERT(a.size() == acc.size());
+    unsigned phase = 0;
+    for (size_t q = 0; q < a.size(); ++q) {
+        PauliProduct p = mulPauli(a[q], acc[q]);
+        acc[q] = p.op;
+        phase += p.phaseExp;
+    }
+    return static_cast<uint8_t>(phase % 4);
+}
+
+ByteFrame::ByteFrame(int num_qubits)
+    : x(num_qubits), z(num_qubits), xSign(num_qubits, 1),
+      zSign(num_qubits, 1)
+{
+    for (int q = 0; q < num_qubits; ++q) {
+        x[q].assign(num_qubits, PauliOp::I);
+        x[q][q] = PauliOp::X;
+        z[q].assign(num_qubits, PauliOp::I);
+        z[q][q] = PauliOp::Z;
+    }
+}
+
+namespace
+{
+
+/** image_a * image_b with i^extra folded into the sign product. */
+void
+mulImages(ByteString &a, int &a_sign, const ByteString &b, int b_sign,
+          int extra_phase_exp)
+{
+    Product prod = mul(a, b);
+    int exp = (prod.phaseExp + extra_phase_exp) % 4;
+    TETRIS_ASSERT(exp == 0 || exp == 2,
+                  "non-Hermitian byte-frame image");
+    a_sign = a_sign * b_sign * (exp == 2 ? -1 : 1);
+    a = std::move(prod.ops);
+}
+
+} // namespace
+
+void
+ByteFrame::applyH(int q)
+{
+    std::swap(x[q], z[q]);
+    std::swap(xSign[q], zSign[q]);
+}
+
+void
+ByteFrame::applyS(int q)
+{
+    // S^dg X S = -Y = -i X Z.
+    mulImages(x[q], xSign[q], z[q], zSign[q], /*i^*/ 3);
+}
+
+void
+ByteFrame::applyCx(int c, int t)
+{
+    // CX X_c CX = X_c X_t;  CX Z_t CX = Z_c Z_t.
+    mulImages(x[c], xSign[c], x[t], xSign[t], 0);
+    Product prod = mul(z[c], z[t]);
+    int exp = prod.phaseExp % 4;
+    TETRIS_ASSERT(exp == 0 || exp == 2,
+                  "non-Hermitian byte-frame image");
+    zSign[t] = zSign[c] * zSign[t] * (exp == 2 ? -1 : 1);
+    z[t] = std::move(prod.ops);
+}
+
+} // namespace tetris::pauli_ref

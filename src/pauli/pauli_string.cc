@@ -1,5 +1,7 @@
 #include "pauli/pauli_string.hh"
 
+#include <bit>
+
 #include "common/hash.hh"
 #include "common/logging.hh"
 
@@ -9,31 +11,42 @@ namespace tetris
 PauliString
 PauliString::fromText(const std::string &text)
 {
-    std::vector<PauliOp> ops;
-    ops.reserve(text.size());
-    for (char c : text)
-        ops.push_back(pauliFromChar(c));
-    return PauliString(std::move(ops));
+    PauliString s(text.size());
+    for (size_t q = 0; q < text.size(); ++q)
+        s.setOp(q, pauliFromChar(text[q]));
+    return s;
 }
 
 size_t
 PauliString::weight() const
 {
     size_t w = 0;
-    for (PauliOp p : ops_) {
-        if (p != PauliOp::I)
-            ++w;
-    }
+    for (size_t i = 0; i < x_.size(); ++i)
+        w += static_cast<size_t>(std::popcount(x_[i] | z_[i]));
     return w;
+}
+
+bool
+PauliString::isIdentity() const
+{
+    for (size_t i = 0; i < x_.size(); ++i) {
+        if ((x_[i] | z_[i]) != 0)
+            return false;
+    }
+    return true;
 }
 
 std::vector<size_t>
 PauliString::support() const
 {
     std::vector<size_t> s;
-    for (size_t q = 0; q < ops_.size(); ++q) {
-        if (ops_[q] != PauliOp::I)
-            s.push_back(q);
+    for (size_t i = 0; i < x_.size(); ++i) {
+        uint64_t w = x_[i] | z_[i];
+        while (w != 0) {
+            s.push_back(i * 64 +
+                        static_cast<size_t>(std::countr_zero(w)));
+            w &= w - 1;
+        }
     }
     return s;
 }
@@ -42,48 +55,124 @@ bool
 PauliString::commutesWith(const PauliString &other) const
 {
     TETRIS_ASSERT(numQubits() == other.numQubits());
-    // Strings commute iff they anticommute on an even number of qubits.
-    size_t anti = 0;
-    for (size_t q = 0; q < ops_.size(); ++q) {
-        if (!commutes(ops_[q], other.ops_[q]))
-            ++anti;
+    // Strings commute iff the symplectic inner product — the number
+    // of qubits where exactly one side's X hits the other's Z — is
+    // even. XOR-accumulating the per-word indicator planes preserves
+    // the popcount parity, so one final popcount decides.
+    uint64_t acc = 0;
+    for (size_t i = 0; i < x_.size(); ++i)
+        acc ^= (x_[i] & other.z_[i]) ^ (z_[i] & other.x_[i]);
+    return (std::popcount(acc) & 1) == 0;
+}
+
+uint8_t
+PauliString::mulLeft(const PauliString &other)
+{
+    TETRIS_ASSERT(numQubits() == other.numQubits(),
+                  "string length mismatch");
+    // With P(x,z) = i^{xz} X^x Z^z (so Y = iXZ), the per-qubit phase
+    // of a*b is i^{x_a z_a + x_b z_b + 2 z_a x_b - x_c z_c} where
+    // (x_c, z_c) = (x_a^x_b, z_a^z_b). Summed word-wise with four
+    // popcounts; -1 is folded in as +3 mod 4.
+    uint64_t phase = 0;
+    for (size_t i = 0; i < x_.size(); ++i) {
+        const uint64_t xa = other.x_[i], za = other.z_[i];
+        const uint64_t xb = x_[i], zb = z_[i];
+        const uint64_t xc = xa ^ xb, zc = za ^ zb;
+        phase += static_cast<uint64_t>(std::popcount(xa & za)) +
+                 static_cast<uint64_t>(std::popcount(xb & zb)) +
+                 2u * static_cast<uint64_t>(std::popcount(za & xb)) +
+                 3u * static_cast<uint64_t>(std::popcount(xc & zc));
+        x_[i] = xc;
+        z_[i] = zc;
     }
-    return anti % 2 == 0;
+    return static_cast<uint8_t>(phase % 4);
+}
+
+uint8_t
+PauliString::mulRight(const PauliString &other)
+{
+    TETRIS_ASSERT(numQubits() == other.numQubits(),
+                  "string length mismatch");
+    // Same phase bookkeeping as mulLeft with the operand roles
+    // swapped: here a = *this, b = other.
+    uint64_t phase = 0;
+    for (size_t i = 0; i < x_.size(); ++i) {
+        const uint64_t xa = x_[i], za = z_[i];
+        const uint64_t xb = other.x_[i], zb = other.z_[i];
+        const uint64_t xc = xa ^ xb, zc = za ^ zb;
+        phase += static_cast<uint64_t>(std::popcount(xa & za)) +
+                 static_cast<uint64_t>(std::popcount(xb & zb)) +
+                 2u * static_cast<uint64_t>(std::popcount(za & xb)) +
+                 3u * static_cast<uint64_t>(std::popcount(xc & zc));
+        x_[i] = xc;
+        z_[i] = zc;
+    }
+    return static_cast<uint8_t>(phase % 4);
 }
 
 std::string
 PauliString::toText() const
 {
     std::string s;
-    s.reserve(ops_.size());
-    for (PauliOp p : ops_)
-        s.push_back(pauliChar(p));
+    s.reserve(n_);
+    for (size_t q = 0; q < n_; ++q)
+        s.push_back(pauliChar(op(q)));
     return s;
+}
+
+std::vector<PauliOp>
+PauliString::ops() const
+{
+    std::vector<PauliOp> out;
+    out.reserve(n_);
+    for (size_t q = 0; q < n_; ++q)
+        out.push_back(op(q));
+    return out;
+}
+
+bool
+PauliString::operator<(const PauliString &o) const
+{
+    // Byte-identical semantics to comparing the per-qubit operator
+    // vectors: find the first differing qubit via the XOR of the
+    // planes, compare there; equal prefixes order by length.
+    const size_t common_words = std::min(x_.size(), o.x_.size());
+    const size_t common_qubits = std::min(n_, o.n_);
+    for (size_t w = 0; w < common_words; ++w) {
+        const uint64_t diff = (x_[w] ^ o.x_[w]) | (z_[w] ^ o.z_[w]);
+        if (diff != 0) {
+            const size_t q =
+                w * 64 + static_cast<size_t>(std::countr_zero(diff));
+            if (q >= common_qubits)
+                break; // shared prefix equal; length decides
+            return op(q) < o.op(q);
+        }
+    }
+    return n_ < o.n_;
 }
 
 size_t
 PauliStringHash::operator()(const PauliString &s) const
 {
-    uint64_t h = kFnvOffset;
-    for (PauliOp p : s.ops())
-        h = fnvMix(h, static_cast<uint8_t>(p));
+    // FNV-style multiply-mix over whole 64-qubit words (not bytes):
+    // one multiply per plane word, with a final avalanche so sparse
+    // strings still spread across the low bits map buckets use.
+    uint64_t h = kFnvOffset ^ (s.numQubits() * kFnvPrime);
+    for (size_t i = 0; i < s.numWords(); ++i) {
+        h = (h ^ s.xWords()[i]) * kFnvPrime;
+        h = (h ^ s.zWords()[i]) * kFnvPrime;
+    }
+    h ^= h >> 33;
     return static_cast<size_t>(h);
 }
 
 PauliStringProduct
 mulStrings(const PauliString &a, const PauliString &b)
 {
-    TETRIS_ASSERT(a.numQubits() == b.numQubits(),
-                  "string length mismatch");
-    std::vector<PauliOp> ops(a.numQubits());
-    unsigned phase = 0;
-    for (size_t q = 0; q < a.numQubits(); ++q) {
-        PauliProduct p = mulPauli(a.op(q), b.op(q));
-        ops[q] = p.op;
-        phase += p.phaseExp;
-    }
-    return {PauliString(std::move(ops)),
-            static_cast<uint8_t>(phase % 4)};
+    PauliStringProduct out{b, 0};
+    out.phaseExp = out.string.mulLeft(a);
+    return out;
 }
 
 } // namespace tetris

@@ -1,12 +1,30 @@
 /**
  * @file
  * Dense Pauli strings (tensor products of single-qubit Paulis).
+ *
+ * Storage is data-oriented: instead of one byte per qubit, a string
+ * keeps two bit-planes of 64-qubit words — the X plane and the Z
+ * plane — with qubit q at bit (q mod 64) of word (q / 64):
+ *
+ *     op      X-bit  Z-bit
+ *     I         0      0
+ *     X         1      0
+ *     Y         1      1        (Y = iXZ)
+ *     Z         0      1
+ *
+ * Every bulk kernel then runs word-at-a-time: commutation is the
+ * parity of popcount((x1&z2) ^ (z1&x2)) (the symplectic inner
+ * product), weight is popcount(x|z), the string product is a plane
+ * XOR plus a popcount-based phase count, and hashing mixes whole
+ * words. Bits above numQubits() are kept zero as a class invariant,
+ * so word-wise equality, hashing and ordering need no masking.
  */
 
 #ifndef TETRIS_PAULI_PAULI_STRING_HH
 #define TETRIS_PAULI_PAULI_STRING_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,6 +32,29 @@
 
 namespace tetris
 {
+
+/** X/Z bit pair of one Pauli operator (see the packing table). */
+inline uint64_t
+pauliXBit(PauliOp p)
+{
+    auto v = static_cast<uint64_t>(p);
+    return (v ^ (v >> 1)) & 1u;
+}
+
+inline uint64_t
+pauliZBit(PauliOp p)
+{
+    return (static_cast<uint64_t>(p) >> 1) & 1u;
+}
+
+/** Decode an (x, z) bit pair back to the operator. */
+inline PauliOp
+pauliFromBits(uint64_t x, uint64_t z)
+{
+    static constexpr PauliOp kDecode[4] = {PauliOp::I, PauliOp::X,
+                                           PauliOp::Z, PauliOp::Y};
+    return kDecode[(x & 1u) | ((z & 1u) << 1)];
+}
 
 /**
  * A Pauli string over a fixed number of qubits, e.g. "XXYZI".
@@ -27,22 +68,39 @@ class PauliString
     PauliString() = default;
 
     /** An all-identity string on n qubits. */
-    explicit PauliString(size_t n) : ops_(n, PauliOp::I) {}
+    explicit PauliString(size_t n)
+        : n_(n), x_(wordsFor(n), 0), z_(wordsFor(n), 0)
+    {
+    }
 
     /** Construct from explicit operators. */
-    explicit PauliString(std::vector<PauliOp> ops) : ops_(std::move(ops)) {}
+    explicit PauliString(const std::vector<PauliOp> &ops)
+        : PauliString(ops.size())
+    {
+        for (size_t q = 0; q < ops.size(); ++q)
+            setOp(q, ops[q]);
+    }
 
     /** Parse from text such as "XXYZI" (case-insensitive). */
     static PauliString fromText(const std::string &text);
 
     /** Number of qubits the string is defined over. */
-    size_t numQubits() const { return ops_.size(); }
+    size_t numQubits() const { return n_; }
 
     /** Operator on one qubit. */
-    PauliOp op(size_t q) const { return ops_[q]; }
+    PauliOp op(size_t q) const
+    {
+        return pauliFromBits(x_[q >> 6] >> (q & 63),
+                             z_[q >> 6] >> (q & 63));
+    }
 
     /** Set the operator on one qubit. */
-    void setOp(size_t q, PauliOp p) { ops_[q] = p; }
+    void setOp(size_t q, PauliOp p)
+    {
+        const uint64_t bit = uint64_t{1} << (q & 63);
+        x_[q >> 6] = (x_[q >> 6] & ~bit) | (bit * pauliXBit(p));
+        z_[q >> 6] = (z_[q >> 6] & ~bit) | (bit * pauliZBit(p));
+    }
 
     /** Number of non-identity operators (the paper's active length). */
     size_t weight() const;
@@ -51,28 +109,56 @@ class PauliString
     std::vector<size_t> support() const;
 
     /** True if no qubit carries a non-identity operator. */
-    bool isIdentity() const { return weight() == 0; }
+    bool isIdentity() const;
 
     /** True if this string commutes with the other (global phase). */
     bool commutesWith(const PauliString &other) const;
 
+    /**
+     * In-place left product: *this = other * *this, returning the
+     * accumulated power-of-i phase exponent. The allocation-free
+     * kernel behind mulStrings and the verifier's tableau updates.
+     */
+    uint8_t mulLeft(const PauliString &other);
+
+    /** In-place right product: *this = *this * other. */
+    uint8_t mulRight(const PauliString &other);
+
     /** Render as text, e.g. "XXYZI". */
     std::string toText() const;
 
-    bool operator==(const PauliString &o) const { return ops_ == o.ops_; }
+    bool operator==(const PauliString &o) const
+    {
+        return n_ == o.n_ && x_ == o.x_ && z_ == o.z_;
+    }
     bool operator!=(const PauliString &o) const { return !(*this == o); }
 
-    /** Lexicographic order (for deterministic canonicalization). */
-    bool operator<(const PauliString &o) const { return ops_ < o.ops_; }
+    /**
+     * Lexicographic order over per-qubit operator values, exactly as
+     * the byte-per-qubit representation compared (deterministic
+     * canonicalization must survive the repacking).
+     */
+    bool operator<(const PauliString &o) const;
 
-    /** Access the raw operator vector. */
-    const std::vector<PauliOp> &ops() const { return ops_; }
+    /** Materialize the per-qubit operator vector (diagnostics). */
+    std::vector<PauliOp> ops() const;
+
+    /** Number of 64-qubit words in each plane. */
+    size_t numWords() const { return x_.size(); }
+
+    /** Raw planes for word-wide kernels; bits >= numQubits() are 0. */
+    const uint64_t *xWords() const { return x_.data(); }
+    const uint64_t *zWords() const { return z_.data(); }
 
   private:
-    std::vector<PauliOp> ops_;
+    static size_t wordsFor(size_t n) { return (n + 63) / 64; }
+
+    size_t n_ = 0;
+    std::vector<uint64_t> x_;
+    std::vector<uint64_t> z_;
 };
 
-/** FNV-style hash over the operator vector. */
+/** FNV-style hash over the bit-planes (content-stable). */
 struct PauliStringHash
 {
     size_t operator()(const PauliString &s) const;

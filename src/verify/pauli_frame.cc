@@ -20,24 +20,44 @@ PauliFrame::PauliFrame(int num_qubits)
     }
 }
 
-SignedPauli
-PauliFrame::mul(const SignedPauli &a, const SignedPauli &b,
-                int extra_phase_exp)
+namespace
 {
-    PauliStringProduct prod = mulStrings(a.p, b.p);
-    int exp = (prod.phaseExp + extra_phase_exp) % 4;
+
+/** Fold a product's i^exp into a +/-1 sign; Hermiticity is a frame
+ *  invariant, so any odd power is an update bug, not bad input. */
+int
+hermitianSign(int phase_exp)
+{
+    const int exp = phase_exp % 4;
     TETRIS_ASSERT(exp == 0 || exp == 2,
                   "non-Hermitian Pauli image (phase i^", exp, ")");
-    int sign = a.sign * b.sign * (exp == 2 ? -1 : 1);
-    return {std::move(prod.string), sign};
+    return exp == 2 ? -1 : 1;
 }
+
+/** acc = acc * rhs, in place on the packed planes (no allocation). */
+void
+mulInto(SignedPauli &acc, const SignedPauli &rhs, int extra_phase_exp)
+{
+    const int exp = acc.p.mulRight(rhs.p) + extra_phase_exp;
+    acc.sign = acc.sign * rhs.sign * hermitianSign(exp);
+}
+
+/** acc = lhs * acc, in place on the packed planes (no allocation). */
+void
+mulIntoLeft(SignedPauli &acc, const SignedPauli &lhs, int extra_phase_exp)
+{
+    const int exp = acc.p.mulLeft(lhs.p) + extra_phase_exp;
+    acc.sign = acc.sign * lhs.sign * hermitianSign(exp);
+}
+
+} // namespace
 
 bool
 PauliFrame::applyGate(const Gate &g)
 {
     // Every rule below is M_new(G) = M_old(g^dagger G g) for the
     // generators G on g's wires; untouched generators keep their
-    // images.
+    // images. All updates run word-wide on the stored bit-planes.
     switch (g.kind) {
       case GateKind::H:
         // H X H = Z, H Z H = X.
@@ -49,16 +69,16 @@ PauliFrame::applyGate(const Gate &g)
         return true;
       case GateKind::S:
         // S^dg X S = -Y = -i X Z.
-        x_[g.q0] = mul(x_[g.q0], z_[g.q0], /*i^*/ 3);
+        mulInto(x_[g.q0], z_[g.q0], /*i^*/ 3);
         return true;
       case GateKind::Sdg:
         // S X S^dg = Y = i X Z.
-        x_[g.q0] = mul(x_[g.q0], z_[g.q0], /*i^*/ 1);
+        mulInto(x_[g.q0], z_[g.q0], /*i^*/ 1);
         return true;
       case GateKind::CX:
         // CX X_c CX = X_c X_t;  CX Z_t CX = Z_c Z_t.
-        x_[g.q0] = mul(x_[g.q0], x_[g.q1], 0);
-        z_[g.q1] = mul(z_[g.q0], z_[g.q1], 0);
+        mulInto(x_[g.q0], x_[g.q1], 0);
+        mulIntoLeft(z_[g.q1], z_[g.q0], 0);
         return true;
       case GateKind::SWAP:
         std::swap(x_[g.q0], x_[g.q1]);

@@ -12,9 +12,11 @@
  * finalLayout permutation.
  *
  * Representation: the signed back-images of the 2n generators X_q,
- * Z_q. Appending a gate g maps generator G on g's wires to the
- * back-image of g^dagger G g, a product of at most two stored
- * generators -- O(n) per update, O(gates * n) per circuit. Signs are
+ * Z_q, each stored as a packed bit-plane PauliString. Appending a
+ * gate g maps generator G on g's wires to the back-image of
+ * g^dagger G g, a product of at most two stored generators -- an
+ * in-place word-wide XOR/popcount update (PauliString::mulLeft /
+ * mulRight), O(n/64) words per update, no allocation. Signs are
  * tracked exactly; Hermiticity of every image is a checked invariant.
  */
 
@@ -58,12 +60,6 @@ class PauliFrame
     const SignedPauli &backImageZ(int q) const { return z_[q]; }
 
   private:
-    /** a * b for the stored images, plus i^extra_phase_exp. The
-     *  result must come out Hermitian (+/-1 overall); panics if not,
-     *  as that would be a frame-update bug, not bad input. */
-    static SignedPauli mul(const SignedPauli &a, const SignedPauli &b,
-                           int extra_phase_exp);
-
     std::vector<SignedPauli> x_;
     std::vector<SignedPauli> z_;
 };

@@ -255,6 +255,118 @@ TEST(CompileCache, ShardedContentionStressLosesNothing)
     }
 }
 
+TEST(CompileCache, PureHitWorkloadIsLockFree)
+{
+    // The tentpole guarantee of the published read view: once a key
+    // is in the view, acquire() serves it with loads only. 16 threads
+    // hammering a fully-published table must therefore report exactly
+    // zero blocked lock-wait time — not "low", zero — while the
+    // hit/miss accounting stays exact.
+    for (int shards : {1, 4}) {
+        CompileCache cache(shards);
+        constexpr int kKeys = 256;
+        auto dummy = std::make_shared<const CompileResult>();
+        for (int k = 0; k < kKeys; ++k) {
+            bool is_new = false;
+            auto entry =
+                cache.acquire(0x9e3779b97f4a7c15ull * (k + 1), is_new);
+            ASSERT_TRUE(is_new);
+            entry->publish(dummy);
+        }
+
+        constexpr int kThreads = 16;
+        constexpr int kOpsPerThread = 20000;
+        std::atomic<bool> go{false};
+        std::atomic<int> unexpected{0};
+        std::vector<std::thread> workers;
+        for (int t = 0; t < kThreads; ++t) {
+            workers.emplace_back([&, t] {
+                while (!go.load()) {
+                }
+                for (int i = 0; i < kOpsPerThread; ++i) {
+                    const int k = (i * 7 + t * 13) % kKeys;
+                    bool is_new = true;
+                    auto entry = cache.acquire(
+                        0x9e3779b97f4a7c15ull * (k + 1), is_new);
+                    if (is_new || entry->get() == nullptr)
+                        unexpected.fetch_add(1);
+                }
+            });
+        }
+        go.store(true);
+        for (auto &w : workers)
+            w.join();
+
+        EXPECT_EQ(unexpected.load(), 0) << "shards=" << shards;
+        EXPECT_EQ(cache.lockWaitNs(), 0u) << "shards=" << shards;
+        EXPECT_EQ(cache.misses(), static_cast<size_t>(kKeys));
+        EXPECT_EQ(cache.hits(),
+                  static_cast<size_t>(kThreads) * kOpsPerThread);
+    }
+}
+
+TEST(CompileCache, HitsStayCoherentUnderRehashAndErase)
+{
+    // Readers hold read-view snapshots while a writer churns the
+    // table: inserting enough fresh keys to force view rehashes and
+    // erasing/recreating a victim key. Stable keys must always hit
+    // and always return their own payload (TSan covers the memory
+    // ordering; this asserts the semantics).
+    CompileCache cache(4);
+    constexpr int kStable = 64;
+    auto key_of = [](int k) {
+        return 0x9e3779b97f4a7c15ull * (k + 1);
+    };
+    for (int k = 0; k < kStable; ++k) {
+        bool is_new = false;
+        auto entry = cache.acquire(key_of(k), is_new);
+        auto result = std::make_shared<CompileResult>();
+        result->stats.cnotCount = static_cast<uint64_t>(k);
+        entry->publish(std::move(result));
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> bad{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&, t] {
+            for (int i = 0; !stop.load(std::memory_order_relaxed);
+                 ++i) {
+                const int k = (i * 5 + t * 11) % kStable;
+                bool is_new = true;
+                auto entry = cache.acquire(key_of(k), is_new);
+                auto result = entry->get();
+                if (is_new || result == nullptr ||
+                    result->stats.cnotCount !=
+                        static_cast<uint64_t>(k))
+                    bad.fetch_add(1);
+            }
+        });
+    }
+
+    // Writer: 4k inserts across 4 shards of min-capacity-16 views
+    // force multiple geometric rehashes per shard; the erase victim
+    // exercises tombstone + reinsert around every growth step.
+    auto published = std::make_shared<const CompileResult>();
+    for (int n = 0; n < 4000; ++n) {
+        bool is_new = false;
+        auto entry = cache.acquire(key_of(kStable + 1000 + n), is_new);
+        if (is_new)
+            entry->publish(published);
+        const uint64_t victim = key_of(kStable + 500);
+        cache.erase(victim);
+        bool victim_new = false;
+        cache.acquire(victim, victim_new)->publish(published);
+        EXPECT_TRUE(victim_new);
+    }
+    stop.store(true);
+    for (auto &r : readers)
+        r.join();
+
+    EXPECT_EQ(bad.load(), 0);
+    EXPECT_EQ(cache.size(), static_cast<size_t>(kStable + 4000 + 1));
+}
+
 TEST(Engine, CacheShardsOptionPreservesDedupSemantics)
 {
     // The dedup accounting of CacheHitsOnRepeatedJob must be

@@ -1,15 +1,22 @@
 /**
  * @file
  * Unit tests for the Pauli algebra substrate: operator products with
- * phases, string algebra, sums, and block root/leaf decomposition.
+ * phases, string algebra, sums, and block root/leaf decomposition —
+ * plus the randomized differential suite that pins the packed
+ * bit-plane kernels to the byte-per-qubit reference in pauli_ref.
  */
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
+#include "circuit/gate.hh"
+#include "common/rng.hh"
 #include "pauli/pauli_block.hh"
 #include "pauli/pauli_op.hh"
+#include "pauli/pauli_ref.hh"
 #include "pauli/pauli_string.hh"
 #include "pauli/pauli_sum.hh"
+#include "verify/pauli_frame.hh"
 
 namespace tetris
 {
@@ -206,6 +213,195 @@ TEST(PauliBlock, WeightsDefaultToOne)
     PauliBlock b({PauliString::fromText("ZZ")}, 0.5);
     EXPECT_DOUBLE_EQ(b.weight(0), 1.0);
     EXPECT_DOUBLE_EQ(b.theta(), 0.5);
+}
+
+// ---- packed vs byte-wise differential suite ------------------------
+// The packed bit-plane kernels must agree with the scalar reference
+// on every observable, across word boundaries (sizes straddle 64 and
+// 128) up to 256 qubits.
+
+pauli_ref::ByteString
+randomByteString(Rng &rng, size_t n)
+{
+    static constexpr P kOps[4] = {P::I, P::X, P::Y, P::Z};
+    pauli_ref::ByteString s(n);
+    for (size_t q = 0; q < n; ++q)
+        s[q] = kOps[rng.uniformInt(0, 3)];
+    return s;
+}
+
+const std::vector<size_t> kDifferentialSizes = {1,  7,   63, 64,
+                                                65, 130, 256};
+
+TEST(PauliPackedDifferential, OpReadbackAndWeightMatchReference)
+{
+    Rng rng(101);
+    for (size_t n : kDifferentialSizes) {
+        for (int trial = 0; trial < 20; ++trial) {
+            auto bytes = randomByteString(rng, n);
+            PauliString packed(bytes);
+            ASSERT_EQ(packed.numQubits(), n);
+            for (size_t q = 0; q < n; ++q)
+                ASSERT_EQ(packed.op(q), bytes[q])
+                    << "qubit " << q << " of " << n;
+            EXPECT_EQ(packed.weight(), pauli_ref::weight(bytes));
+            EXPECT_EQ(packed.isIdentity(),
+                      pauli_ref::weight(bytes) == 0);
+            auto support = packed.support();
+            ASSERT_TRUE(std::is_sorted(support.begin(), support.end()));
+            EXPECT_EQ(support.size(), pauli_ref::weight(bytes));
+            for (size_t q : support)
+                EXPECT_NE(bytes[q], P::I);
+        }
+    }
+}
+
+TEST(PauliPackedDifferential, CommutationMatchesReference)
+{
+    Rng rng(102);
+    for (size_t n : kDifferentialSizes) {
+        for (int trial = 0; trial < 40; ++trial) {
+            auto a = randomByteString(rng, n);
+            auto b = randomByteString(rng, n);
+            PauliString pa(a), pb(b);
+            EXPECT_EQ(pa.commutesWith(pb), pauli_ref::commutes(a, b))
+                << "n=" << n << " trial=" << trial;
+            EXPECT_TRUE(pa.commutesWith(pa));
+        }
+    }
+}
+
+TEST(PauliPackedDifferential, ProductAndPhaseMatchReference)
+{
+    Rng rng(103);
+    for (size_t n : kDifferentialSizes) {
+        for (int trial = 0; trial < 40; ++trial) {
+            auto a = randomByteString(rng, n);
+            auto b = randomByteString(rng, n);
+            pauli_ref::Product want = pauli_ref::mul(a, b);
+
+            PauliStringProduct got =
+                mulStrings(PauliString(a), PauliString(b));
+            EXPECT_EQ(got.phaseExp, want.phaseExp)
+                << "n=" << n << " trial=" << trial;
+            ASSERT_EQ(got.string.numQubits(), n);
+            for (size_t q = 0; q < n; ++q)
+                ASSERT_EQ(got.string.op(q), want.ops[q]);
+
+            // The in-place kernels must agree with the value API.
+            PauliString left(b);
+            EXPECT_EQ(left.mulLeft(PauliString(a)), want.phaseExp);
+            EXPECT_EQ(left, got.string);
+            PauliString right(a);
+            EXPECT_EQ(right.mulRight(PauliString(b)), want.phaseExp);
+            EXPECT_EQ(right, got.string);
+
+            // And so must the byte-wise in-place reference.
+            auto acc = b;
+            EXPECT_EQ(pauli_ref::mulInto(a, acc), want.phaseExp);
+            EXPECT_EQ(acc, want.ops);
+        }
+    }
+}
+
+TEST(PauliPackedDifferential, HashStableAcrossConstructionPaths)
+{
+    Rng rng(104);
+    PauliStringHash h;
+    for (size_t n : kDifferentialSizes) {
+        for (int trial = 0; trial < 10; ++trial) {
+            auto bytes = randomByteString(rng, n);
+
+            PauliString from_vector(bytes);
+            PauliString from_text(
+                PauliString::fromText(from_vector.toText()));
+            // Sparse path: identity string + setOp of the support in
+            // shuffled order, with some redundant overwrites.
+            PauliString from_set_ops(n);
+            std::vector<size_t> order(n);
+            for (size_t q = 0; q < n; ++q)
+                order[q] = q;
+            for (size_t q = n; q > 1; --q)
+                std::swap(order[q - 1], order[rng.index(q)]);
+            for (size_t q : order) {
+                from_set_ops.setOp(q, P::Y); // overwritten below
+                from_set_ops.setOp(q, bytes[q]);
+            }
+
+            EXPECT_EQ(from_vector, from_text);
+            EXPECT_EQ(from_vector, from_set_ops);
+            EXPECT_EQ(h(from_vector), h(from_text));
+            EXPECT_EQ(h(from_vector), h(from_set_ops));
+        }
+    }
+}
+
+TEST(PauliPackedDifferential, OrderingMatchesByteLexicographic)
+{
+    Rng rng(105);
+    for (size_t n : kDifferentialSizes) {
+        for (int trial = 0; trial < 40; ++trial) {
+            auto a = randomByteString(rng, n);
+            auto b = randomByteString(rng, n);
+            // Force shared prefixes often so the first-diff scan is
+            // exercised beyond word 0.
+            if (trial % 2 == 0 && n > 2)
+                std::copy(a.begin(), a.begin() + n / 2, b.begin());
+            const bool want = std::lexicographical_compare(
+                a.begin(), a.end(), b.begin(), b.end());
+            EXPECT_EQ(PauliString(a) < PauliString(b), want)
+                << "n=" << n << " trial=" << trial;
+        }
+        // Length tie-break: equal prefix, shorter sorts first.
+        auto a = randomByteString(rng, n);
+        auto longer = a;
+        longer.push_back(P::I);
+        EXPECT_TRUE(PauliString(a) < PauliString(longer));
+        EXPECT_FALSE(PauliString(longer) < PauliString(a));
+        EXPECT_FALSE(PauliString(a) < PauliString(a));
+    }
+}
+
+TEST(PauliPackedDifferential, FrameConjugationMatchesByteFrame)
+{
+    for (int qubits : {3, 16, 65}) {
+        Rng rng(200 + qubits);
+        PauliFrame frame(qubits);
+        pauli_ref::ByteFrame byte_frame(qubits);
+        for (int step = 0; step < 300; ++step) {
+            const int q0 = rng.uniformInt(0, qubits - 1);
+            switch (rng.uniformInt(0, 2)) {
+              case 0:
+                ASSERT_TRUE(frame.applyGate(Gate::h(q0)));
+                byte_frame.applyH(q0);
+                break;
+              case 1:
+                ASSERT_TRUE(frame.applyGate(Gate::s(q0)));
+                byte_frame.applyS(q0);
+                break;
+              default: {
+                int q1 = rng.uniformInt(0, qubits - 1);
+                if (q1 == q0)
+                    q1 = (q1 + 1) % qubits;
+                ASSERT_TRUE(frame.applyGate(Gate::cx(q0, q1)));
+                byte_frame.applyCx(q0, q1);
+                break;
+              }
+            }
+        }
+        for (int q = 0; q < qubits; ++q) {
+            const SignedPauli &x = frame.backImageX(q);
+            const SignedPauli &z = frame.backImageZ(q);
+            ASSERT_EQ(x.sign, byte_frame.xSign[q]) << "X image " << q;
+            ASSERT_EQ(z.sign, byte_frame.zSign[q]) << "Z image " << q;
+            for (int k = 0; k < qubits; ++k) {
+                ASSERT_EQ(x.p.op(static_cast<size_t>(k)),
+                          byte_frame.x[q][static_cast<size_t>(k)]);
+                ASSERT_EQ(z.p.op(static_cast<size_t>(k)),
+                          byte_frame.z[q][static_cast<size_t>(k)]);
+            }
+        }
+    }
 }
 
 } // namespace
