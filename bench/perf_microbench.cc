@@ -51,6 +51,8 @@
 #include "engine/disk_cache.hh"
 #include "engine/engine.hh"
 #include "engine/trace.hh"
+#include "obs/event_log.hh"
+#include "obs/obs_server.hh"
 #include "pauli/pauli_ref.hh"
 #include "serialize/mmap_file.hh"
 #include "verify/pauli_frame.hh"
@@ -602,6 +604,100 @@ main()
         w.key("timer_handle_ns").value(handle_ns);
         w.key("histogram_record_ns").value(hist_ns);
         w.key("span_disabled_ns").value(span_ns);
+        w.endObject();
+    }
+
+    // ---- 6. observability-plane overhead ---------------------------
+    // Two numbers the obs plane must keep honest: the cost of a
+    // disarmed event log at every engine event site (the guarded
+    // `enabled()` check everyone pays when TETRIS_EVENT_LOG is unset
+    // — must stay at a few ns/op, asserted by smoke.sh), and the
+    // latency of a full GET /metrics scrape, both while workers are
+    // compiling and against an idle engine.
+    {
+        const uint64_t iters = quick ? 200000 : 2000000;
+        EventLog disarmed;
+        auto t0 = std::chrono::steady_clock::now();
+        for (uint64_t i = 0; i < iters; ++i) {
+            if (disarmed.enabled()) {
+                disarmed.record("perf",
+                                {EventLog::Field::u64("i", i)});
+            }
+        }
+        double disabled_ns =
+            secondsSince(t0) * 1e9 / static_cast<double>(iters);
+
+        EngineOptions opts;
+        opts.obsServer = "127.0.0.1:0";
+        Engine engine(opts);
+        double load_avg_us = 0.0, idle_avg_us = 0.0;
+        uint64_t load_scrapes = 0;
+        uint64_t body_bytes = 0;
+        const int idle_rounds = quick ? 20 : 100;
+        if (engine.obsPort() > 0) {
+            std::vector<CompileJob> jobs;
+            auto hw = shareDevice(lineTopology(10));
+            const int njobs = quick ? 6 : 16;
+            for (int i = 0; i < njobs; ++i) {
+                jobs.push_back(makeJob(
+                    "obs/ucc" + std::to_string(i),
+                    buildSyntheticUcc(5 + i % 3, 500 + i), hw));
+            }
+            const size_t total = jobs.size();
+            std::thread load([&engine, &jobs] {
+                engine.compileAll(std::move(jobs));
+            });
+            double load_us = 0.0;
+            while (engine.finishedCount() < total) {
+                int status = 0;
+                auto s0 = std::chrono::steady_clock::now();
+                std::string body =
+                    obsHttpGet(engine.obsPort(), "/metrics", &status);
+                if (status == 200) {
+                    load_us += secondsSince(s0) * 1e6;
+                    ++load_scrapes;
+                    body_bytes = body.size();
+                }
+            }
+            load.join();
+            if (load_scrapes > 0)
+                load_avg_us =
+                    load_us / static_cast<double>(load_scrapes);
+
+            double idle_us = 0.0;
+            for (int i = 0; i < idle_rounds; ++i) {
+                int status = 0;
+                auto s0 = std::chrono::steady_clock::now();
+                std::string body =
+                    obsHttpGet(engine.obsPort(), "/metrics", &status);
+                idle_us += secondsSince(s0) * 1e6;
+                body_bytes = body.size();
+            }
+            idle_avg_us = idle_us / static_cast<double>(idle_rounds);
+        } else {
+            std::fprintf(stderr,
+                         "warn: obs server failed to bind; scrape "
+                         "latencies unmeasured\n");
+        }
+
+        std::printf("\nobs-plane overhead:\n"
+                    "  event log (disabled) %8.2f ns/op\n"
+                    "  /metrics under load  %8.1f us/scrape "
+                    "(%llu scrapes)\n"
+                    "  /metrics idle        %8.1f us/scrape "
+                    "(%llu-byte body)\n",
+                    disabled_ns, load_avg_us,
+                    static_cast<unsigned long long>(load_scrapes),
+                    idle_avg_us,
+                    static_cast<unsigned long long>(body_bytes));
+
+        w.key("obs_overhead").beginObject();
+        w.key("iters").value(iters);
+        w.key("event_log_disabled_ns").value(disabled_ns);
+        w.key("scrape_load_avg_us").value(load_avg_us);
+        w.key("scrape_load_count").value(load_scrapes);
+        w.key("scrape_idle_avg_us").value(idle_avg_us);
+        w.key("scrape_body_bytes").value(body_bytes);
         w.endObject();
     }
 

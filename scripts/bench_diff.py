@@ -14,12 +14,13 @@ Perf trajectories (BENCH_perf.json, "schema": "perf-v1", written by
 bench/perf_microbench) are diffed with different rules, because raw
 timing is machine- and load-dependent:
   - WARN-only: throughput (ops_per_sec) or latency (avg_ns) moving
-    by more than --tolerance percent in the bad direction, and the
+    by more than --tolerance percent in the bad direction, the
     pauli_kernels rows (packed kernel ns/op rising, or the
-    packed-vs-byte speedup shrinking);
+    packed-vs-byte speedup shrinking), and the obs_overhead numbers
+    (disarmed event-log ns/op or /metrics scrape latency rising);
   - FAIL: configuration or semantics drift — the (shards, threads)
     sweep grid changed, the (kernel, qubits) pauli grid changed or
-    the section disappeared, the default shard count changed, mmap
+    a section disappeared, the default shard count changed, mmap
     availability flipped, the warm engine run recompiled anything,
     or warm hits stopped being served from the store. When the two
     artifacts report different hardware_concurrency (different
@@ -217,6 +218,33 @@ def diff_perf(base, cand, tolerance):
                 warnings.append(
                     f"{kernel}@{qubits}q: packed-vs-byte speedup "
                     f"{old_sp:.1f}x -> {new_sp:.1f}x (-{pct:.1f}%)"
+                )
+
+    # --- obs-plane overhead trend: timing warns, loss fails ----------
+    # Same shape as pauli_kernels: baselines predating the section
+    # get a note; a candidate that dropped it drifted.
+    base_obs = base.get("obs_overhead", {})
+    cand_obs = cand.get("obs_overhead", {})
+    if base_obs and not cand_obs:
+        drift("obs_overhead section disappeared from the candidate")
+    elif cand_obs and not base_obs:
+        print(
+            "note: baseline predates the obs_overhead section; "
+            "no obs trend to compare"
+        )
+    elif base_obs:
+        obs_timings = (
+            ("event_log_disabled_ns", "disarmed event log", "ns/op"),
+            ("scrape_load_avg_us", "/metrics under load", "us"),
+            ("scrape_idle_avg_us", "/metrics idle", "us"),
+        )
+        for key, label, unit in obs_timings:
+            old, new = base_obs.get(key), cand_obs.get(key)
+            if old and new and new > old * slack:
+                pct = 100.0 * (new - old) / old
+                warnings.append(
+                    f"{label}: {old:.2f} -> {new:.2f} {unit} "
+                    f"(+{pct:.1f}%)"
                 )
 
     for message in warnings:

@@ -1,0 +1,329 @@
+#!/usr/bin/env python3
+"""Scrape and validate a live engine's /metrics endpoint.
+
+Usage:
+    obs_scrape.py scrape --port PORT [--out FILE] [--timeout SEC]
+                  [--wait-idle]
+    obs_scrape.py check SCRAPE.prom [--bench BENCH.json]
+
+`scrape` polls http://127.0.0.1:PORT/metrics until a scrape passes
+the strict exposition validation below (retrying while the serving
+process is still starting up), then writes the body to --out (default
+stdout). With --wait-idle it keeps polling until a scrape shows the
+sweep finished and the engine idle — tetris_jobs_finished equal to a
+nonzero tetris_jobs_submitted, nothing queued or in flight — and
+saves *that* scrape, which is then bucket-for-bucket comparable to
+the BENCH json the process writes at exit (arm the server with
+TETRIS_OBS_LINGER_MS to hold it open long enough). Counters must be
+monotone non-decreasing across the polls; any counter moving
+backwards fails the run.
+
+`check` re-validates a saved scrape offline and, with --bench,
+asserts the scrape's tetris_job_latency_ns histogram agrees with the
+BENCH json's job.latency_ns histogram bucket for bucket (the two are
+rendered from the same Histogram, so an idle-state scrape must match
+exactly).
+
+Validation (both modes) is the same strict Prometheus text
+exposition 0.0.4 contract the C++ test suite enforces:
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names match
+    [a-zA-Z_][a-zA-Z0-9_]*, label values are quoted with only
+    \\\\, \\", and \\n escapes;
+  - every sample belongs to a # TYPE'd family;
+  - histogram buckets are cumulative, in ascending le order, end in
+    le="+Inf", and _count equals the +Inf bucket.
+
+Exit status: 0 = scrape validated (and matched --bench, if given),
+1 = validation/comparison failure, 2 = cannot reach the server or
+bad invocation.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$"
+)
+LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"'
+)
+
+
+def fail(message):
+    print(f"obs_scrape: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_exposition(body):
+    """Strict parse -> (types dict, samples list); raises ValueError."""
+    types = {}
+    samples = []  # (name, labels dict, value)
+    for lineno, line in enumerate(body.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValueError(f"line {lineno}: malformed TYPE")
+                family, kind = parts[2], parts[3]
+                if not NAME_RE.match(family):
+                    raise ValueError(
+                        f"line {lineno}: bad family '{family}'")
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    raise ValueError(
+                        f"line {lineno}: unknown kind '{kind}'")
+                if family in types:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE {family}")
+                types[family] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            raise ValueError(f"line {lineno}: unparsable sample: "
+                             f"{line!r}")
+        name, label_block, value_str = m.groups()
+        labels = {}
+        if label_block:
+            consumed = 0
+            for pm in LABEL_PAIR_RE.finditer(label_block):
+                labels[pm.group(1)] = pm.group(2)
+                consumed += len(pm.group(0)) + 1  # + separator
+            # Reject junk the pair regex silently skipped.
+            stripped = label_block[1:-1]
+            rebuilt = ",".join(
+                f'{k}="{v}"' for k, v in labels.items()
+            )
+            if len(stripped) != len(rebuilt):
+                raise ValueError(
+                    f"line {lineno}: malformed label block "
+                    f"{label_block!r}")
+        if value_str == "+Inf":
+            value = math.inf
+        else:
+            try:
+                value = float(value_str)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: bad value {value_str!r}")
+        samples.append((name, labels, value))
+    if not samples:
+        raise ValueError("no samples")
+    return types, samples
+
+
+def family_of(name, types):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def histogram_buckets(samples, family):
+    """[(le, cumulative)] for one histogram family, in order."""
+    out = []
+    for name, labels, value in samples:
+        if name == family + "_bucket":
+            le = labels.get("le")
+            if le is None:
+                raise ValueError(f"{family}: bucket without le")
+            out.append((math.inf if le == "+Inf" else float(le),
+                        value))
+    return out
+
+
+def validate(body):
+    """Full contract check; returns (types, samples) or raises."""
+    types, samples = parse_exposition(body)
+    for name, _, _ in samples:
+        if family_of(name, types) not in types:
+            raise ValueError(f"sample without TYPE: {name}")
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = histogram_buckets(samples, family)
+        if not buckets:
+            raise ValueError(f"{family}: no buckets")
+        if buckets[-1][0] != math.inf:
+            raise ValueError(f"{family}: last bucket is not +Inf")
+        for (le_a, cum_a), (le_b, cum_b) in zip(buckets, buckets[1:]):
+            if le_b <= le_a:
+                raise ValueError(f"{family}: le not ascending")
+            if cum_b < cum_a:
+                raise ValueError(f"{family}: cumulative decreased")
+        counts = [v for n, _, v in samples if n == family + "_count"]
+        if counts != [buckets[-1][1]]:
+            raise ValueError(f"{family}: _count != +Inf bucket")
+        if not any(n == family + "_sum" for n, _, _ in samples):
+            raise ValueError(f"{family}: missing _sum")
+    return types, samples
+
+
+def sample_value(samples, name):
+    for n, labels, value in samples:
+        if n == name and not labels:
+            return value
+    return None
+
+
+def counter_snapshot(types, samples):
+    snap = {}
+    for name, labels, value in samples:
+        if types.get(family_of(name, types)) == "counter":
+            key = (name, tuple(sorted(labels.items())))
+            snap[key] = value
+    return snap
+
+
+def cmd_scrape(args):
+    url = f"http://127.0.0.1:{args.port}/metrics"
+    deadline = time.monotonic() + args.timeout
+    last_counters = None
+    body = None
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                candidate = resp.read().decode("utf-8")
+        except (urllib.error.URLError, OSError, TimeoutError):
+            time.sleep(0.05)
+            continue
+        try:
+            types, samples = validate(candidate)
+        except ValueError as exc:
+            fail(f"invalid exposition from {url}: {exc}")
+        counters = counter_snapshot(types, samples)
+        if last_counters is not None:
+            for key, old in last_counters.items():
+                new = counters.get(key)
+                if new is not None and new < old:
+                    fail(f"counter went backwards across scrapes: "
+                         f"{key[0]}{dict(key[1])} {old} -> {new}")
+        last_counters = counters
+        body = candidate
+        if not args.wait_idle:
+            break
+        submitted = sample_value(samples, "tetris_jobs_submitted")
+        finished = sample_value(samples, "tetris_jobs_finished")
+        queued = sample_value(samples, "tetris_jobs_queued")
+        in_flight = sample_value(samples, "tetris_jobs_in_flight")
+        if (submitted and submitted > 0 and finished == submitted
+                and queued == 0 and in_flight == 0):
+            break
+        time.sleep(0.02)
+    else:
+        what = "idle-state scrape" if args.wait_idle else "scrape"
+        print(f"obs_scrape: no valid {what} from {url} within "
+              f"{args.timeout:g}s", file=sys.stderr)
+        sys.exit(2)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(body)
+        print(f"obs_scrape: wrote {len(body)} bytes to {args.out}")
+    else:
+        sys.stdout.write(body)
+    return 0
+
+
+def cmd_check(args):
+    try:
+        with open(args.scrape, encoding="utf-8") as f:
+            body = f.read()
+    except OSError as exc:
+        print(f"obs_scrape: cannot read {args.scrape}: {exc}",
+              file=sys.stderr)
+        sys.exit(2)
+    try:
+        types, samples = validate(body)
+    except ValueError as exc:
+        fail(f"{args.scrape}: {exc}")
+    print(f"obs_scrape: {args.scrape} validates "
+          f"({len(samples)} samples, {len(types)} families)")
+
+    if not args.bench:
+        return 0
+    try:
+        with open(args.bench, encoding="utf-8") as f:
+            bench = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"obs_scrape: cannot read {args.bench}: {exc}",
+              file=sys.stderr)
+        sys.exit(2)
+    hist = (bench.get("engine", {}).get("histograms", {})
+            .get("job.latency_ns"))
+    if hist is None:
+        print(f"obs_scrape: {args.bench} has no "
+              "engine.histograms['job.latency_ns'] section",
+              file=sys.stderr)
+        sys.exit(2)
+
+    # Rebuild the cumulative series from the BENCH json's sparse
+    # [bucket_index, count] pairs, exactly as the exposition renders
+    # it: finite le = 2^i - 1 per nonzero bucket below the overflow
+    # bucket (index 63), which folds into +Inf only.
+    expected = []
+    cum = 0
+    total = 0
+    for index, count in hist.get("buckets", []):
+        total += count
+        if index >= 63:
+            continue
+        cum += count
+        expected.append((float(2 ** index - 1), float(cum)))
+    expected.append((math.inf, float(total)))
+
+    actual = histogram_buckets(samples, "tetris_job_latency_ns")
+    if actual != expected:
+        fail(
+            "job.latency_ns histogram mismatch between "
+            f"{args.scrape} and {args.bench}:\n"
+            f"  scrape: {actual}\n  bench:  {expected}"
+        )
+    print(f"obs_scrape: job.latency_ns agrees with {args.bench} "
+          f"bucket for bucket ({len(actual)} buckets, "
+          f"{total:g} records)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Scrape and validate a live /metrics endpoint."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scrape = sub.add_parser("scrape", help="poll a live endpoint")
+    scrape.add_argument("--port", type=int, required=True)
+    scrape.add_argument("--out", metavar="FILE",
+                        help="write the scrape body here "
+                        "(default: stdout)")
+    scrape.add_argument("--timeout", type=float, default=60.0,
+                        metavar="SEC")
+    scrape.add_argument("--wait-idle", action="store_true",
+                        help="poll until the engine reports the sweep "
+                        "finished and nothing in flight")
+
+    check = sub.add_parser("check", help="validate a saved scrape")
+    check.add_argument("scrape")
+    check.add_argument("--bench", metavar="BENCH.json",
+                       help="assert the job.latency_ns histogram "
+                       "matches this BENCH json bucket for bucket")
+
+    args = parser.parse_args()
+    if args.command == "scrape":
+        return cmd_scrape(args)
+    return cmd_check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,13 @@
 # Observability: trajectories must carry the bench-v2 schema with
 # latency histograms, a TETRIS_TRACE run must produce a file that
 # scripts/trace_report.py validates, and bench_diff.py must refuse
-# (exit 2) to diff artifacts with mismatched schemas.
+# (exit 2) to diff artifacts with mismatched schemas. The resident
+# obs plane then runs for real: a sweep with TETRIS_OBS_ADDR serves
+# /metrics mid-run (scraped and strictly validated by
+# scripts/obs_scrape.py), its idle-state scrape must agree with the
+# BENCH json bucket for bucket, and TETRIS_EVENT_LOG must record the
+# job lifecycle. The disarmed event log must cost a few ns/op at
+# most (obs_overhead section of BENCH_perf.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,7 +76,47 @@ if python3 scripts/trace_report.py build/smoke-trace-bad.json \
   echo "smoke FAIL: trace_report accepted a malformed trace" >&2
   exit 1
 fi
+python3 scripts/trace_report.py build/smoke-trace.json --json \
+  > build/smoke-trace-report.json
+python3 - build/smoke-trace-report.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "trace-report-v1", doc.get("schema")
+assert doc["stages"].get("job", {}).get("count", 0) > 0, \
+    "trace report JSON has no job spans"
+print(f"smoke OK: trace_report --json emitted "
+      f"{doc['spans']} span(s) across {len(doc['stages'])} stage(s)")
+EOF
 echo "smoke OK: traced run + trace_report validation passed"
+
+# ---- resident obs plane: live scrape + event log ------------------
+# Run a sweep with the scrape server and event log armed. The scraper
+# polls /metrics while jobs are in flight (every scrape must pass the
+# strict exposition validation and counters must be monotone), waits
+# for the idle end-of-sweep state, and that final scrape must agree
+# with the run's BENCH json histogram bucket for bucket (the linger
+# window keeps the server up long enough to catch it).
+obs_port=$((20000 + RANDOM % 20000))
+obs_events="$PWD/build/smoke-events.jsonl"
+rm -f "$obs_events" build/smoke-scrape.prom
+(cd build && TETRIS_OBS_ADDR="127.0.0.1:${obs_port}" \
+  TETRIS_OBS_LINGER_MS=8000 TETRIS_EVENT_LOG="$obs_events" \
+  TETRIS_STATS_SUMMARY=1 ./table2_main) &
+obs_bench_pid=$!
+python3 scripts/obs_scrape.py scrape --port "$obs_port" \
+  --wait-idle --timeout 120 --out build/smoke-scrape.prom
+wait "$obs_bench_pid"
+python3 scripts/obs_scrape.py check build/smoke-scrape.prom \
+  --bench build/BENCH_table2.json
+test -s "$obs_events"
+for event in job.start job.finish; do
+  if ! grep -q "\"event\":\"${event}\"" "$obs_events"; then
+    echo "smoke FAIL: event log has no ${event} record" >&2
+    exit 1
+  fi
+done
+echo "smoke OK: live /metrics scrape validated + matched BENCH json;" \
+  "event log recorded the job lifecycle"
 
 # Mixing a bench-v2 trajectory with a legacy (pre-schema) one must be
 # an invocation error (exit 2), not a crash or a silent diff.
@@ -185,10 +231,17 @@ slow = [r for r in rows
         and r["kernel"] in ("commute", "product")
         and r["speedup"] < 5.0]
 assert not slow, f"packed Pauli kernels below 5x at >=64 qubits: {slow}"
+obs = doc["obs_overhead"]
+assert obs["event_log_disabled_ns"] < 50.0, \
+    "disarmed event log costs " \
+    f"{obs['event_log_disabled_ns']:.1f} ns/op (must stay a few ns)"
+assert obs["scrape_load_count"] > 0, \
+    "no /metrics scrapes landed during the loaded run"
 print("smoke OK: warm microbench did zero recompiles "
       f"({warm['disk_hits']} disk hit(s), "
       f"{load['mmap_loads']} mmap load(s)); pure-hit sweeps "
-      "lock-free; packed Pauli kernels >=5x at 64+ qubits")
+      "lock-free; packed Pauli kernels >=5x at 64+ qubits; "
+      f"disarmed event log {obs['event_log_disabled_ns']:.2f} ns/op")
 EOF
 # A perf trajectory must diff clean against itself.
 python3 scripts/bench_diff.py \

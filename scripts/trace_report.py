@@ -2,10 +2,12 @@
 """Summarize a Chrome trace-event JSON file written via TETRIS_TRACE.
 
 Usage:
-    trace_report.py TRACE.json [--top N]
+    trace_report.py TRACE.json [--top N] [--json]
 
 Reads the {"traceEvents": [...]} document the engine's span tracer
-produces (engine/trace.hh), validates it, and prints:
+produces (engine/trace.hh) — plain or gzip-compressed (detected by
+the gzip magic bytes, so archived `trace.json.gz` files work without
+an extension convention), validates it, and prints:
 
   - per-stage totals: accumulated wall time per span name
     (queue_wait, compile, schedule, synthesis, peephole, verify,
@@ -17,6 +19,12 @@ produces (engine/trace.hh), validates it, and prints:
     their life waiting for a worker, i.e. the sweep wants more
     threads (or has a head-of-line straggler).
 
+With --json the same report is emitted as one machine-readable JSON
+document on stdout instead of the human tables: span counts/totals
+per stage, the top-N slowest jobs, thread count, and the queue-wait
+share. Tooling (bench dashboards, CI trend jobs) should prefer this
+over scraping the table output.
+
 Validation is strict so CI can trust a zero exit: the document must
 be valid JSON with a traceEvents list, and every complete event
 ("ph": "X") must carry a string name and numeric ts/dur/tid.
@@ -26,6 +34,7 @@ empty trace.
 """
 
 import argparse
+import gzip
 import json
 import os
 import sys
@@ -36,12 +45,23 @@ def fail(message):
     sys.exit(2)
 
 
+def read_text(path):
+    """The file's text, transparently gunzipping by magic bytes."""
+    with open(path, "rb") as f:
+        head = f.read(2)
+        f.seek(0)
+        if head == b"\x1f\x8b":
+            with gzip.open(f) as gz:
+                return gz.read().decode("utf-8")
+        return f.read().decode("utf-8")
+
+
 def load_events(path):
     """Parse and validate the trace; returns the complete events."""
     try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as exc:
+        doc = json.loads(read_text(path))
+    except (OSError, UnicodeDecodeError, EOFError,
+            json.JSONDecodeError) as exc:
         fail(f"cannot read {path}: {exc}")
 
     if not isinstance(doc, dict) or "traceEvents" not in doc:
@@ -89,6 +109,11 @@ def main():
         metavar="N",
         help="how many of the slowest jobs to list (default: 10)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as one JSON document instead of tables",
+    )
     args = parser.parse_args()
     if args.top < 1:
         parser.error("--top must be >= 1")
@@ -103,6 +128,41 @@ def main():
         entry[1] += event["dur"]
     threads = len({event["tid"] for event in events})
 
+    jobs = sorted(
+        (e for e in events if e["name"] == "job"),
+        key=lambda e: -e["dur"],
+    )
+    queue_us = totals.get("queue_wait", [0, 0.0])[1]
+    job_us = totals.get("job", [0, 0.0])[1]
+
+    if args.json:
+        report = {
+            "schema": "trace-report-v1",
+            "trace": args.trace,
+            "spans": len(events),
+            "threads": threads,
+            "stages": {
+                name: {
+                    "count": count,
+                    "total_us": total_us,
+                    "avg_us": total_us / count,
+                }
+                for name, (count, total_us) in sorted(totals.items())
+            },
+            "slowest_jobs": [
+                {
+                    "job": e.get("args", {}).get("job", "<unnamed>"),
+                    "dur_us": e["dur"],
+                }
+                for e in jobs[: args.top]
+            ],
+        }
+        if queue_us + job_us > 0:
+            report["queue_wait_share"] = queue_us / (queue_us + job_us)
+        json.dump(report, sys.stdout, indent=2)
+        print()
+        return 0
+
     print(f"{args.trace}: {len(events)} spans across "
           f"{threads} thread(s)")
     print()
@@ -114,9 +174,7 @@ def main():
               f"{fmt_ms(total_us / count)}")
 
     # --- slowest jobs -----------------------------------------------
-    jobs = [e for e in events if e["name"] == "job"]
     if jobs:
-        jobs.sort(key=lambda e: -e["dur"])
         print()
         print(f"top {min(args.top, len(jobs))} slowest jobs:")
         for event in jobs[: args.top]:
@@ -124,8 +182,6 @@ def main():
             print(f"  {fmt_ms(event['dur'])}  {label}")
 
     # --- queue-wait share -------------------------------------------
-    queue_us = totals.get("queue_wait", [0, 0.0])[1]
-    job_us = totals.get("job", [0, 0.0])[1]
     if queue_us + job_us > 0:
         share = 100.0 * queue_us / (queue_us + job_us)
         print()

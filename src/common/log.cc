@@ -113,25 +113,71 @@ logEnabled(LogLevel level)
     return level >= logLevel() && level != LogLevel::Off;
 }
 
+namespace
+{
+
+/** Emission mutex + tee share one guard; see setLogTee(). */
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::function<void(LogLevel, const std::string &)> &
+teeSlot()
+{
+    static std::function<void(LogLevel, const std::string &)> tee;
+    return tee;
+}
+
+} // namespace
+
+void
+setLogTee(std::function<void(LogLevel, const std::string &)> tee)
+{
+    std::lock_guard<std::mutex> lock(emitMutex());
+    teeSlot() = std::move(tee);
+}
+
 namespace detail
 {
 
 void
 logEmit(LogLevel level, const std::string &message)
 {
+    // Reentrancy guard: a line emitted from inside the tee would
+    // deadlock on the non-recursive emission mutex, so it goes to
+    // stderr unteed and unserialized instead of recursing.
+    static thread_local bool in_tee = false;
+
     struct timeval tv;
     ::gettimeofday(&tv, nullptr);
     struct tm tm_buf;
     ::localtime_r(&tv.tv_sec, &tm_buf);
 
+    if (in_tee) {
+        std::fprintf(stderr, "[%02d:%02d:%02d.%03d] %s t%02d %s\n",
+                     tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                     static_cast<int>(tv.tv_usec / 1000),
+                     levelName(level), threadTag(), message.c_str());
+        return;
+    }
+
     // One mutex-guarded fprintf per line: concurrent workers never
     // interleave mid-message, and ordering matches wall clock.
-    static std::mutex emit_mutex;
-    std::lock_guard<std::mutex> lock(emit_mutex);
+    std::lock_guard<std::mutex> lock(emitMutex());
     std::fprintf(stderr, "[%02d:%02d:%02d.%03d] %s t%02d %s\n",
                  tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
                  static_cast<int>(tv.tv_usec / 1000), levelName(level),
                  threadTag(), message.c_str());
+    // The tee runs under the same mutex so installation/removal never
+    // races an emission.
+    if (teeSlot()) {
+        in_tee = true;
+        teeSlot()(level, message);
+        in_tee = false;
+    }
 }
 
 } // namespace detail

@@ -23,6 +23,7 @@
 #ifndef TETRIS_COMMON_LOG_HH
 #define TETRIS_COMMON_LOG_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -52,6 +53,16 @@ LogLevel parseLogLevel(const char *s, bool &ok);
 
 /** True when an event at `level` would currently be emitted. */
 bool logEnabled(LogLevel level);
+
+/**
+ * Install a tee receiving every emitted log line (level + unformatted
+ * message), or nullptr to remove it. The tee runs under the emission
+ * mutex — concurrent with nothing, but it must not log (the mutex is
+ * not recursive) and should return quickly. One tee at a time; the
+ * observability plane uses this to mirror warn+ lines into the
+ * structured event log (obs/event_log.hh).
+ */
+void setLogTee(std::function<void(LogLevel, const std::string &)> tee);
 
 namespace detail
 {

@@ -12,6 +12,7 @@
 
 #include "common/log.hh"
 #include "common/logging.hh"
+#include "obs/event_log.hh"
 #include "serialize/artifact.hh"
 #include "serialize/mmap_file.hh"
 
@@ -163,8 +164,19 @@ DiskCache::load(uint64_t key) const
     auto result = std::make_shared<CompileResult>();
     if (!serialize::decodeArtifact(file.span(), key, *result)) {
         // Corruption of any kind is a miss: the caller recompiles and
-        // the subsequent store() overwrites the bad file.
+        // the subsequent store() overwrites the bad file. Worth an
+        // event and a warn — one corrupt artifact is bit rot, many
+        // are a codec bug or a dying disk.
         misses_.fetch_add(1);
+        EventLog &events = EventLog::global();
+        if (events.enabled()) {
+            events.record(
+                "disk.corrupt_miss",
+                {EventLog::Field::u64("key", key),
+                 EventLog::Field::str("path", path.string())});
+        }
+        logWarn("disk cache: corrupt artifact ", path.string(),
+                " (treating as miss)");
         return nullptr;
     }
     hits_.fetch_add(1);
@@ -239,6 +251,18 @@ DiskCache::trim(uint64_t max_bytes) const
             total -= e.size;
             ++removed;
         }
+    }
+    if (removed > 0) {
+        EventLog &events = EventLog::global();
+        if (events.enabled()) {
+            events.record("disk.trim",
+                          {EventLog::Field::u64(
+                               "removed", static_cast<uint64_t>(removed)),
+                           EventLog::Field::u64("kept_bytes", total),
+                           EventLog::Field::u64("max_bytes", max_bytes)});
+        }
+        logInfo("disk cache: trimmed ", removed, " artifact(s) to ",
+                total, " bytes (budget ", max_bytes, ")");
     }
     return removed;
 }

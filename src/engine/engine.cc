@@ -1,12 +1,16 @@
 #include "engine/engine.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/hash.hh"
 #include "common/log.hh"
 #include "common/logging.hh"
 #include "engine/disk_cache.hh"
 #include "engine/trace.hh"
+#include "obs/event_log.hh"
+#include "obs/obs_server.hh"
+#include "obs/watchdog.hh"
 
 namespace tetris
 {
@@ -43,20 +47,109 @@ Engine::Engine(EngineOptions opts)
       verifyPassH_(metrics_.counterHandle("verify.pass")),
       verifyFailH_(metrics_.counterHandle("verify.fail")),
       verifySkippedH_(metrics_.counterHandle("verify.skipped")),
-      verifySecondsH_(metrics_.timerHandle("verify.seconds"))
+      verifySecondsH_(metrics_.timerHandle("verify.seconds")),
+      eventLog_(opts.eventLog != nullptr ? opts.eventLog
+                                         : &EventLog::global()),
+      startNs_(steadyNowNs())
 {
     cache_.setLockWaitHistogram(
         &metrics_.histogram("cache.lock_wait_ns"));
+
+    // Observability plane: both pieces are opt-in (options first,
+    // env second) and both read engine state the member-init list
+    // above has fully built. Disabled, they cost nothing per job.
+    const uint64_t stall_ms = opts_.stallMs != 0
+                                  ? opts_.stallMs
+                                  : StallWatchdog::stallMsFromEnv();
+    if (stall_ms != 0)
+        watchdog_ = std::make_unique<StallWatchdog>(*this, stall_ms);
+    std::string obs_addr = opts_.obsServer;
+    if (obs_addr.empty()) {
+        if (const char *v = std::getenv("TETRIS_OBS_ADDR"))
+            obs_addr = v;
+    }
+    if (!obs_addr.empty())
+        obsServer_ = ObsServer::start(*this, obs_addr);
 }
 
 Engine::~Engine()
 {
+    // Teardown order: report draining for the whole shutdown, stop
+    // the watchdog's scans, drain workers, then apply the store's
+    // eviction budget. The scrape server (declared last) dies before
+    // any member it reads; until then /healthz says "draining".
+    draining_.store(true, std::memory_order_relaxed);
+    watchdog_.reset();
     pool_.waitIdle();
     // Apply the store's eviction budget once the sweep is done, not
     // per write: trimming mid-run could evict entries the same run
     // is about to read back.
     if (opts_.diskCache && opts_.diskCache->maxBytes() > 0)
         opts_.diskCache->trim(opts_.diskCache->maxBytes());
+}
+
+void
+Engine::drain()
+{
+    draining_.store(true, std::memory_order_relaxed);
+    pool_.waitIdle();
+    draining_.store(false, std::memory_order_relaxed);
+}
+
+int
+Engine::obsPort() const
+{
+    return obsServer_ ? obsServer_->port() : 0;
+}
+
+double
+Engine::uptimeSeconds() const
+{
+    return static_cast<double>(steadyNowNs() - startNs_) / 1e9;
+}
+
+std::shared_ptr<Engine::ActiveJob>
+Engine::beginActiveJob(const std::string &name, uint64_t key,
+                       uint64_t start_ns)
+{
+    auto job = std::make_shared<ActiveJob>();
+    job->name = name;
+    job->key = key;
+    job->startNs = start_ns;
+    std::lock_guard<std::mutex> lock(activeMutex_);
+    active_.push_back(job);
+    return job;
+}
+
+void
+Engine::endActiveJob(const std::shared_ptr<ActiveJob> &job)
+{
+    std::lock_guard<std::mutex> lock(activeMutex_);
+    active_.erase(std::remove(active_.begin(), active_.end(), job),
+                  active_.end());
+}
+
+void
+Engine::pushRecentJob(const std::string &name, uint64_t duration_ns)
+{
+    std::lock_guard<std::mutex> lock(recentMutex_);
+    recent_.push_back(RecentJob{name, duration_ns});
+    if (recent_.size() > 64)
+        recent_.pop_front();
+}
+
+std::vector<std::shared_ptr<Engine::ActiveJob>>
+Engine::activeJobs() const
+{
+    std::lock_guard<std::mutex> lock(activeMutex_);
+    return active_;
+}
+
+std::vector<Engine::RecentJob>
+Engine::recentJobs() const
+{
+    std::lock_guard<std::mutex> lock(recentMutex_);
+    return std::vector<RecentJob>(recent_.begin(), recent_.end());
 }
 
 const DiskCache *
@@ -115,6 +208,13 @@ Engine::verifyJob(const CompileJob &job, const CompileResult &result)
         break;
       case VerifyStatus::Fail:
         metrics_.addCount(verifyFailH_);
+        if (eventLog_->enabled()) {
+            eventLog_->record(
+                "verify.fail",
+                {EventLog::Field::str("job", job.name),
+                 EventLog::Field::str("method", report.method),
+                 EventLog::Field::str("detail", report.detail)});
+        }
         logWarn("verify FAIL [", job.name, "] via ", report.method,
                 ": ", report.detail);
         break;
@@ -139,15 +239,22 @@ Engine::runJob(const CompileJob &job, uint64_t key,
         tracer_->recordSpan("queue_wait", "queue", submit_ns,
                             dequeue_ns, job.name);
     }
+    // Register with the in-flight table for the watchdog and
+    // /statusz; deregistered at every exit from this function.
+    auto active = beginActiveJob(job.name, key, dequeue_ns);
     // One "job" span per dequeued submission, dequeue -> publish; the
-    // latency histogram additionally covers the queue wait.
-    auto finishJob = [&] {
+    // latency histogram additionally covers the queue wait. Returns
+    // the submit-to-publish latency for the job.finish event record.
+    auto finishJob = [&]() -> uint64_t {
         const uint64_t end_ns = steadyNowNs();
-        latencyHist_->record(end_ns >= submit_ns ? end_ns - submit_ns
-                                                 : 0);
+        const uint64_t latency_ns =
+            end_ns >= submit_ns ? end_ns - submit_ns : 0;
+        latencyHist_->record(latency_ns);
+        pushRecentJob(job.name, latency_ns);
         if (tracer_->enabled())
             tracer_->recordSpan("job", "job", dequeue_ns, end_ns,
                                 job.name);
+        return latency_ns;
     };
 
     // Cancellation gate: checked when a worker dequeues the job, so
@@ -163,13 +270,28 @@ Engine::runJob(const CompileJob &job, uint64_t key,
         placeholder->cancelled = true;
         reportDone(job.name);
         finishJob();
+        if (eventLog_->enabled()) {
+            eventLog_->record("job.cancel",
+                              {EventLog::Field::str("job", job.name),
+                               EventLog::Field::u64("key", key)});
+        }
         entry->publish(std::move(placeholder));
+        endActiveJob(active);
         return;
+    }
+
+    if (eventLog_->enabled()) {
+        eventLog_->record(
+            "job.start",
+            {EventLog::Field::str("job", job.name),
+             EventLog::Field::u64("key", key),
+             EventLog::Field::str("pipeline", job.pipeline->name())});
     }
 
     // Read-through: an in-memory miss may still be served from the
     // persistent store of a previous process.
     if (opts_.diskCache) {
+        active->stage.store("disk_read", std::memory_order_relaxed);
         auto loadPersisted = [&] {
             TraceSpan span(tracer_, "disk_read", "disk", job.name);
             return opts_.diskCache->load(key);
@@ -179,15 +301,30 @@ Engine::runJob(const CompileJob &job, uint64_t key,
             // Disk artifacts are verified too: this is what catches a
             // stale or silently-wrong .tca entry before its numbers
             // reach a BENCH_*.json.
-            if (opts_.verify)
+            if (opts_.verify) {
+                active->stage.store("verify",
+                                    std::memory_order_relaxed);
                 verifyJob(job, *persisted);
+            }
             reportDone(job.name);
-            finishJob();
+            const uint64_t latency_ns = finishJob();
+            if (eventLog_->enabled()) {
+                eventLog_->record(
+                    "job.finish",
+                    {EventLog::Field::str("job", job.name),
+                     EventLog::Field::u64("key", key),
+                     EventLog::Field::str("outcome", "disk_hit"),
+                     EventLog::Field::f64(
+                         "latency_ms",
+                         static_cast<double>(latency_ns) / 1e6)});
+            }
             entry->publish(std::move(persisted));
+            endActiveJob(active);
             return;
         }
     }
 
+    active->stage.store("compile", std::memory_order_relaxed);
     const uint64_t compile_start_ns = steadyNowNs();
     CompileResult result = job.pipeline->run(job.blocks, *job.hw);
     const uint64_t compile_end_ns = steadyNowNs();
@@ -221,18 +358,34 @@ Engine::runJob(const CompileJob &job, uint64_t key,
     // Verify-on-write: the verdict is taken *before* the artifact can
     // reach the disk tier, so a miscompile never lands in the store.
     bool verify_failed = false;
-    if (opts_.verify)
+    if (opts_.verify) {
+        active->stage.store("verify", std::memory_order_relaxed);
         verify_failed = verifyJob(job, result) == VerifyStatus::Fail;
+    }
+    active->stage.store("publish", std::memory_order_relaxed);
     // Report before publishing: once the entry publishes, waiters
     // (compileAll callers) may proceed, and every callback for their
     // jobs must already have returned.
     reportDone(job.name);
-    finishJob();
+    const uint64_t latency_ns = finishJob();
+    if (eventLog_->enabled()) {
+        eventLog_->record(
+            "job.finish",
+            {EventLog::Field::str("job", job.name),
+             EventLog::Field::u64("key", key),
+             EventLog::Field::str("outcome", "compiled"),
+             EventLog::Field::f64("latency_ms",
+                                  static_cast<double>(latency_ns) /
+                                      1e6),
+             EventLog::Field::b("verify_failed", verify_failed)});
+    }
     auto shared = std::make_shared<const CompileResult>(std::move(result));
     entry->publish(shared);
     // Write-behind: persist after publishing so waiters never block
-    // on disk I/O.
+    // on disk I/O. The job stays in the in-flight table until the
+    // persist lands, so a wedged disk write is stall-visible too.
     if (opts_.diskCache) {
+        active->stage.store("disk_write", std::memory_order_relaxed);
         if (verify_failed && opts_.verifyBeforeStore) {
             metrics_.addCount("verify.blocked_write");
             logWarn("verify: not persisting failed compilation [",
@@ -242,6 +395,7 @@ Engine::runJob(const CompileJob &job, uint64_t key,
             opts_.diskCache->store(key, *shared);
         }
     }
+    endActiveJob(active);
 }
 
 Engine::JobId

@@ -34,8 +34,10 @@
 #define TETRIS_ENGINE_ENGINE_HH
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,6 +55,9 @@ namespace tetris
 {
 
 class DiskCache;
+class EventLog;
+class ObsServer;
+class StallWatchdog;
 class Tracer;
 
 /** One unit of batch work: a workload, a device, and a pipeline. */
@@ -133,6 +138,29 @@ struct EngineOptions
     std::function<void(size_t done, size_t total,
                        const std::string &name)>
         onJobDone;
+    /**
+     * Observability scrape server bind address ("host:port", port 0
+     * for an ephemeral one — see obs/obs_server.hh). Empty (the
+     * default) consults TETRIS_OBS_ADDR; no env either means no
+     * server, which is the zero-overhead path.
+     */
+    std::string obsServer;
+    /**
+     * Stall-watchdog threshold in milliseconds (obs/watchdog.hh):
+     * a job in flight longer than this is flagged once via the
+     * jobs.stalled metric, a `stall` event record, and a warn log
+     * line. 0 (the default) consults TETRIS_STALL_MS; no env either
+     * means no watchdog thread.
+     */
+    uint64_t stallMs = 0;
+    /**
+     * Structured event sink for job lifecycle records
+     * (obs/event_log.hh). Null (the default) means
+     * EventLog::global(), which is armed by TETRIS_EVENT_LOG and
+     * otherwise records nothing. Tests pass a private EventLog; it
+     * must outlive the engine.
+     */
+    EventLog *eventLog = nullptr;
 };
 
 class Engine
@@ -179,8 +207,17 @@ class Engine
      * wait()/compileAll() return as results publish; drain()
      * additionally covers the write-behind disk persists that run
      * after a result publishes (the destructor drains implicitly).
+     * While draining, draining() reads true and /healthz reports
+     * "draining".
      */
-    void drain() { pool_.waitIdle(); }
+    void drain();
+
+    /** True while drain() (or the destructor) is waiting for the
+     *  pool to go idle. Relaxed; safe to poll from any thread. */
+    bool draining() const
+    {
+        return draining_.load(std::memory_order_relaxed);
+    }
 
     int numThreads() const { return pool_.numThreads(); }
 
@@ -206,6 +243,46 @@ class Engine
 
     /** The tracer this engine records spans into (never null). */
     Tracer &tracer() const { return *tracer_; }
+
+    /** The structured event sink (never null; possibly disarmed). */
+    EventLog &eventLog() const { return *eventLog_; }
+
+    /**
+     * One dequeued-but-unfinished job as the obs plane sees it. The
+     * engine updates `stage` (a string literal: queued, disk_read,
+     * compile, verify, publish, disk_write) as the job progresses;
+     * the watchdog sets `stalled` at most once. Snapshots share
+     * ownership, so a job finishing mid-scrape never dangles.
+     */
+    struct ActiveJob
+    {
+        std::string name;
+        uint64_t key = 0;
+        /** steadyNowNs() at dequeue. */
+        uint64_t startNs = 0;
+        std::atomic<const char *> stage{"queued"};
+        std::atomic<bool> stalled{false};
+    };
+
+    /** Completed-job record for the statusz top-N view. */
+    struct RecentJob
+    {
+        std::string name;
+        /** Submit-to-publish latency. */
+        uint64_t durationNs = 0;
+    };
+
+    /** Snapshot of the in-flight job table (watchdog, /statusz). */
+    std::vector<std::shared_ptr<ActiveJob>> activeJobs() const;
+
+    /** The last <=64 finished jobs, oldest first (/statusz). */
+    std::vector<RecentJob> recentJobs() const;
+
+    /** Scrape-server port when one is armed and bound, else 0. */
+    int obsPort() const;
+
+    /** Seconds since this engine was constructed. */
+    double uptimeSeconds() const;
 
     /** True when this engine runs the verify pass on its results. */
     bool verifyEnabled() const { return opts_.verify; }
@@ -244,6 +321,11 @@ class Engine
     VerifyStatus verifyJob(const CompileJob &job,
                            const CompileResult &result);
     void reportDone(const std::string &name);
+    std::shared_ptr<ActiveJob> beginActiveJob(const std::string &name,
+                                              uint64_t key,
+                                              uint64_t start_ns);
+    void endActiveJob(const std::shared_ptr<ActiveJob> &job);
+    void pushRecentJob(const std::string &name, uint64_t duration_ns);
 
     EngineOptions opts_;
     std::atomic<bool> cancel_{false};
@@ -270,6 +352,27 @@ class Engine
     std::atomic<size_t> submitted_{0};
     std::atomic<size_t> started_{0};
     std::atomic<size_t> finished_{0};
+
+    /** opts_.eventLog resolved against EventLog::global(); never
+     *  null (possibly disarmed, in which case record() is a no-op). */
+    EventLog *eventLog_;
+    std::atomic<bool> draining_{false};
+    /** steadyNowNs() at construction, for uptime. */
+    uint64_t startNs_ = 0;
+
+    /** In-flight job table for the watchdog and /statusz. Touched
+     *  twice per dequeued job — negligible next to a compile. */
+    mutable std::mutex activeMutex_;
+    std::vector<std::shared_ptr<ActiveJob>> active_;
+
+    /** Ring of the last finished jobs for the statusz top-N view. */
+    mutable std::mutex recentMutex_;
+    std::deque<RecentJob> recent_;
+
+    /** Declared last, and reset explicitly in the destructor before
+     *  the pool drains, so neither ever observes a dead engine. */
+    std::unique_ptr<StallWatchdog> watchdog_;
+    std::unique_ptr<ObsServer> obsServer_;
 };
 
 } // namespace tetris

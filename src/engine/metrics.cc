@@ -177,6 +177,19 @@ MetricsRegistry::timers() const
     return out;
 }
 
+void
+MetricsRegistry::forEachHistogram(
+    const std::function<void(const std::string &, const Histogram &)>
+        &fn) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, const Histogram *> ordered;
+    for (const auto &[name, hist] : histograms_)
+        ordered[name] = &hist;
+    for (const auto &[name, hist] : ordered)
+        fn(name, *hist);
+}
+
 std::map<std::string, Histogram::Snapshot>
 MetricsRegistry::histogramSnapshots() const
 {

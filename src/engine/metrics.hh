@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -94,6 +95,16 @@ class MetricsRegistry
 
     /** Snapshot of every histogram, keyed by name. */
     std::map<std::string, Histogram::Snapshot> histogramSnapshots() const;
+
+    /**
+     * Visit every histogram in stable name order without copying
+     * bucket state (the /metrics exposition reads raw buckets so its
+     * cumulative series stay self-consistent). `fn` runs under the
+     * registry mutex: keep it quick and do not call back in.
+     */
+    void forEachHistogram(
+        const std::function<void(const std::string &,
+                                 const Histogram &)> &fn) const;
 
     /** Reset every counter, timer, and histogram to zero. */
     void clear();

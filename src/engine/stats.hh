@@ -1,24 +1,30 @@
 /**
  * @file
- * Live engine stats: a periodic progress reporter and the
- * /metrics-style snapshot formatter.
+ * Live engine stats: a periodic progress reporter and the /metrics
+ * exposition formatter.
  *
  * StatsReporter is the long-sweep companion: with
  * TETRIS_STATS_INTERVAL=<seconds> set (bench_util wires it around
  * every sweep), a background thread prints one line per interval —
  * finished/submitted, in-flight and queued jobs, throughput, and an
  * ETA — so a 30-minute table2 run is observable without a trace.
+ * With TETRIS_STATS_SUMMARY=1 it additionally prints one end-of-run
+ * summary line (throughput, p50/p99 job latency, cache hit rate)
+ * when it stops, whether or not an interval reporter was armed.
  *
- * formatStatsSnapshot() renders the same state as a text-exposition
- * document (one `tetris_*` sample per line, Prometheus-style): it is
- * the body the planned `tetrisd` daemon will serve from its /metrics
- * endpoint, and what the reporter's final summary prints at debug
- * level.
+ * formatStatsSnapshot() renders the same state as a full Prometheus
+ * text exposition 0.0.4 document: # TYPE'd counter and gauge
+ * families, and every MetricsRegistry log2 histogram as cumulative
+ * `_bucket{le="..."}` / `_sum` / `_count` series (plus `_max` and
+ * `_quantile` gauge companions). It is the body the obs scrape
+ * server (obs/obs_server.hh) serves from GET /metrics and what the
+ * reporter's per-tick snapshot prints at debug level.
  */
 
 #ifndef TETRIS_ENGINE_STATS_HH
 #define TETRIS_ENGINE_STATS_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <string>
@@ -30,10 +36,13 @@ namespace tetris
 class Engine;
 
 /**
- * Render the engine's live counters, timers, and histogram
- * percentiles as Prometheus-style text: `tetris_jobs_submitted 40`,
- * `tetris_seconds{name="compile.total"} 1.25`,
- * `tetris_histogram_ns{name="job.latency_ns",quantile="0.99"} ...`.
+ * Render the engine's live counters, timers, and histograms as a
+ * Prometheus text exposition 0.0.4 document: `tetris_jobs_submitted
+ * 40`, `tetris_count{name="jobs.completed"} 40`,
+ * `tetris_job_latency_ns_bucket{le="1023"} 7`, ... Histogram
+ * `_count` is computed from the same one-shot bucket read as the
+ * cumulative series, so `_count` always equals the +Inf bucket even
+ * while workers are recording.
  */
 std::string formatStatsSnapshot(const Engine &engine);
 
@@ -44,10 +53,12 @@ class StatsReporter
      * Start reporting on `engine` every `interval_seconds`;
      * <= 0 disables (no thread). The engine must outlive the
      * reporter. The default interval comes from
-     * TETRIS_STATS_INTERVAL.
+     * TETRIS_STATS_INTERVAL; `summary` (default TETRIS_STATS_SUMMARY)
+     * requests the one-line end-of-run summary from stop().
      */
     explicit StatsReporter(const Engine &engine,
-                           double interval_seconds = intervalFromEnv());
+                           double interval_seconds = intervalFromEnv(),
+                           bool summary = summaryFromEnv());
 
     /** Stops and joins the reporting thread. */
     ~StatsReporter();
@@ -55,7 +66,10 @@ class StatsReporter
     StatsReporter(const StatsReporter &) = delete;
     StatsReporter &operator=(const StatsReporter &) = delete;
 
-    /** Stop early (idempotent; the destructor calls it). */
+    /**
+     * Stop early (idempotent; the destructor calls it). The first
+     * call prints the end-of-run summary when one was requested.
+     */
     void stop();
 
     bool active() const { return thread_.joinable(); }
@@ -67,11 +81,25 @@ class StatsReporter
      */
     static double intervalFromEnv();
 
+    /** TETRIS_STATS_SUMMARY: set and not "0" enables the summary. */
+    static bool summaryFromEnv();
+
+    /**
+     * The end-of-run summary line (without trailing newline): jobs
+     * finished, wall time, throughput, job-latency p50/p99, and the
+     * in-memory/disk cache hit rates. Public so tests can check the
+     * numbers without scraping stderr.
+     */
+    static std::string formatSummary(const Engine &engine,
+                                     double elapsed_seconds);
+
   private:
     void loop();
 
     const Engine &engine_;
     const double interval_;
+    const bool summary_;
+    const std::chrono::steady_clock::time_point start_;
     std::mutex mutex_;
     std::condition_variable wake_;
     bool stopping_ = false;
