@@ -1,0 +1,214 @@
+/**
+ * @file
+ * tetris_client: command-line client for a running tetrisd.
+ *
+ * Connects over TCP or a Unix socket, submits a synthetic UCC-style
+ * workload through the frame protocol, and prints one line per
+ * result (job key, verify verdict, gate counts, server-side
+ * latency). The artifact in each Result frame is a complete `.tca`
+ * image and is re-decoded client-side, so a passing run also proves
+ * the wire round-trip bit-exact.
+ *
+ *   tetris_client --port N [options]
+ *   tetris_client --unix PATH [options]
+ *
+ *   --jobs M       programs to submit on this connection (default 4)
+ *   --qubits Q     synthetic program width = device width (default 8)
+ *   --seed S       base RNG seed; job j uses S + (j mod --distinct)
+ *   --distinct D   distinct programs in the batch (default = jobs;
+ *                  lower to exercise the server's cache dedup)
+ *   --pipeline ID  registered pipeline id (default: server default)
+ *   --name NAME    request-name prefix shown in server metrics
+ *   --ping         liveness probe only
+ *   --stats        print the server's /metrics snapshot and exit
+ *
+ * Exit status: 0 when every submission returned a Result with
+ * verify != fail, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/net.hh"
+
+#if TETRIS_HAVE_SOCKETS
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hh"
+#include "chem/uccsd.hh"
+#include "hardware/topologies.hh"
+#include "serve/client.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s (--port N | --unix PATH) [--jobs M] [--qubits Q]"
+        " [--seed S] [--distinct D] [--pipeline ID] [--name NAME]"
+        " [--ping] [--stats]\n",
+        argv0);
+    return 2;
+}
+
+const char *
+verifyName(tetris::serve::WireVerify v)
+{
+    switch (v) {
+    case tetris::serve::WireVerify::Pass:
+        return "pass";
+    case tetris::serve::WireVerify::Fail:
+        return "FAIL";
+    case tetris::serve::WireVerify::Skipped:
+        return "skipped";
+    default:
+        return "not-run";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tetris;
+    using Clock = std::chrono::steady_clock;
+
+    int port = -1;
+    std::string unix_path;
+    int jobs = 4;
+    int qubits = 8;
+    uint64_t seed = 1;
+    int distinct = 0;
+    std::string pipeline_id;
+    std::string name_prefix = "client";
+    bool ping_only = false;
+    bool stats_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v = nullptr;
+        if (arg == "--port" && (v = next()))
+            port = std::atoi(v);
+        else if (arg == "--unix" && (v = next()))
+            unix_path = v;
+        else if (arg == "--jobs" && (v = next()))
+            jobs = std::atoi(v);
+        else if (arg == "--qubits" && (v = next()))
+            qubits = std::atoi(v);
+        else if (arg == "--seed" && (v = next()))
+            seed = std::strtoull(v, nullptr, 10);
+        else if (arg == "--distinct" && (v = next()))
+            distinct = std::atoi(v);
+        else if (arg == "--pipeline" && (v = next()))
+            pipeline_id = v;
+        else if (arg == "--name" && (v = next()))
+            name_prefix = v;
+        else if (arg == "--ping")
+            ping_only = true;
+        else if (arg == "--stats")
+            stats_only = true;
+        else
+            return usage(argv[0]);
+    }
+    if ((port < 0 && unix_path.empty()) || jobs < 1 || qubits < 1)
+        return usage(argv[0]);
+    if (distinct < 1)
+        distinct = jobs;
+
+    std::string err;
+    std::unique_ptr<serve::ServeClient> client =
+        unix_path.empty()
+            ? serve::ServeClient::connectTcp(port, err)
+            : serve::ServeClient::connectUnix(unix_path, err);
+    if (!client) {
+        std::fprintf(stderr, "tetris_client: connect failed: %s\n",
+                     err.c_str());
+        return 1;
+    }
+
+    if (ping_only) {
+        if (!client->ping()) {
+            std::fprintf(stderr, "tetris_client: ping failed\n");
+            return 1;
+        }
+        std::printf("pong\n");
+        return 0;
+    }
+    if (stats_only) {
+        std::string text;
+        if (!client->statsText(text)) {
+            std::fprintf(stderr, "tetris_client: stats failed\n");
+            return 1;
+        }
+        std::fputs(text.c_str(), stdout);
+        return 0;
+    }
+
+    const CouplingGraph hw = lineTopology(qubits);
+    bool all_ok = true;
+    for (int j = 0; j < jobs; ++j) {
+        const uint64_t job_seed =
+            seed + static_cast<uint64_t>(j % distinct);
+        const std::vector<PauliBlock> blocks =
+            buildSyntheticUcc(qubits, job_seed);
+        serve::SubmitRequest req = serve::makeSubmitRequest(
+            name_prefix + "-" + std::to_string(j), pipeline_id,
+            blocks, hw);
+
+        const auto t0 = Clock::now();
+        serve::ServeClient::Response resp;
+        const bool transport_ok = client->submit(req, resp);
+        const double rtt_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      t0)
+                .count();
+        if (!transport_ok) {
+            std::fprintf(stderr,
+                         "tetris_client: job %d transport error: "
+                         "%s (%s)\n",
+                         j, resp.errorCode.c_str(),
+                         resp.errorDetail.c_str());
+            return 1;
+        }
+        if (!resp.ok) {
+            std::fprintf(stderr,
+                         "tetris_client: job %d rejected: %s (%s)\n",
+                         j, resp.errorCode.c_str(),
+                         resp.errorDetail.c_str());
+            all_ok = false;
+            continue;
+        }
+        const CompileStats &s = resp.result.stats;
+        std::printf("job %2d  key=%016llx  verify=%-7s  cnots=%zu  "
+                    "depth=%zu  server=%.1fms  rtt=%.1fms\n",
+                    j, static_cast<unsigned long long>(resp.jobKey),
+                    verifyName(resp.verify), s.cnotCount, s.depth,
+                    resp.serverMs, rtt_ms);
+        if (resp.verify == serve::WireVerify::Fail)
+            all_ok = false;
+    }
+    return all_ok ? 0 : 1;
+}
+
+#else // !TETRIS_HAVE_SOCKETS
+
+int
+main()
+{
+    std::fprintf(stderr, "tetris_client: sockets unavailable on "
+                         "this platform\n");
+    return 1;
+}
+
+#endif // TETRIS_HAVE_SOCKETS

@@ -27,6 +27,12 @@ timing is machine- and load-dependent:
     machines), the machine-derived checks (grid, shard count, mmap)
     downgrade to warnings; warm-run semantics always fail hard.
 
+Serve trajectories (BENCH_serve.json, "schema": "serve-v1", written
+by bench/serve_stress) follow the same split: request latency
+percentiles and throughput WARN-only, while the stress grid
+drifting, any rejected/errored/verify-failed request, a warm phase
+that recompiled anything, or server-side bad-frame counts FAIL hard.
+
 Job trajectories come in two schema versions: legacy files (no
 "schema" key) and "bench-v2" files (which add the engine.histograms
 percentile section). Both diff identically — the headline metrics
@@ -262,6 +268,96 @@ def diff_perf(base, cand, tolerance):
     return 0
 
 
+def diff_serve(base, cand, tolerance):
+    """Diff two serve-v1 trajectories: latency warns, drift fails.
+
+    The stress grid (clients x jobs x programs) and the correctness
+    counters are code-derived and must not move: any rejected
+    request, transport error, verify failure, or warm-phase
+    recompile in the *candidate* is a hard failure regardless of the
+    baseline. Latency percentiles and throughput are machine- and
+    load-dependent, so they only warn, like perf timings.
+    """
+    failures = []
+    warnings = []
+    slack = 1.0 + tolerance / 100.0
+
+    base_cfg = base.get("config", {})
+    cand_cfg = cand.get("config", {})
+    grid_keys = (
+        "clients",
+        "jobs_per_client",
+        "distinct_programs",
+        "qubits",
+        "verify",
+    )
+    base_grid = tuple(base_cfg.get(k) for k in grid_keys)
+    cand_grid = tuple(cand_cfg.get(k) for k in grid_keys)
+    if base_grid != cand_grid:
+        failures.append(
+            f"stress grid drifted: baseline {base_grid} vs "
+            f"candidate {cand_grid}; regenerate with matching "
+            "serve_stress arguments"
+        )
+
+    # --- correctness: candidate must be clean ------------------------
+    for phase in ("cold", "warm"):
+        p = cand.get(phase, {})
+        for counter in ("rejected", "transport_errors", "verify_fail"):
+            n = p.get(counter, 0)
+            if n != 0:
+                failures.append(
+                    f"{phase} phase had {n} {counter.replace('_', ' ')}"
+                )
+    if cand.get("warm_recompiled"):
+        failures.append(
+            f"warm phase recompiled "
+            f"{cand.get('warm', {}).get('compiles', '?')} program(s) "
+            "(must be served entirely from the cache)"
+        )
+    bad_frames = cand.get("server", {}).get("bad_frames", 0)
+    if bad_frames != 0:
+        failures.append(
+            f"server counted {bad_frames} bad frame(s) from the "
+            "stress clients (codec drift?)"
+        )
+
+    # --- latency / throughput: warnings only -------------------------
+    for phase in ("cold", "warm"):
+        old_p, new_p = base.get(phase, {}), cand.get(phase, {})
+        for pct_key in ("p50", "p99"):
+            old = old_p.get("latency_ms", {}).get(pct_key)
+            new = new_p.get("latency_ms", {}).get(pct_key)
+            if old and new and new > old * slack:
+                pct = 100.0 * (new - old) / old
+                warnings.append(
+                    f"{phase} {pct_key} latency {old:.2f} -> "
+                    f"{new:.2f} ms (+{pct:.1f}%)"
+                )
+        old = old_p.get("throughput_rps")
+        new = new_p.get("throughput_rps")
+        if old and new and new * slack < old:
+            pct = 100.0 * (old - new) / old
+            warnings.append(
+                f"{phase} throughput {old:.0f} -> {new:.0f} req/s "
+                f"(-{pct:.1f}%)"
+            )
+
+    for message in warnings:
+        print(f"serve warning (timing, not failing): {message}")
+    if failures:
+        print(f"SERVE DRIFT ({len(failures)} failure(s)):")
+        for message in failures:
+            print(f"  {message}")
+        return 1
+    print(
+        f"OK: serve trajectories consistent "
+        f"({len(warnings)} timing warning(s), "
+        f"tolerance {tolerance:g}%)"
+    )
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two BENCH_*.json artifacts for regressions."
@@ -300,15 +396,18 @@ def main():
             file=sys.stderr,
         )
         return 2
-    if base_schema not in (None, "bench-v2", "perf-v1"):
+    if base_schema not in (None, "bench-v2", "perf-v1", "serve-v1"):
         print(
             f"bench_diff: unknown schema '{base_schema}' "
-            "(this script understands legacy, bench-v2, and perf-v1)",
+            "(this script understands legacy, bench-v2, perf-v1, "
+            "and serve-v1)",
             file=sys.stderr,
         )
         return 2
     if base_schema == "perf-v1":
         return diff_perf(base_doc, cand_doc, args.tolerance)
+    if base_schema == "serve-v1":
+        return diff_serve(base_doc, cand_doc, args.tolerance)
 
     base = load_jobs(args.baseline, base_doc)
     cand = load_jobs(args.candidate, cand_doc)

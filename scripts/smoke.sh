@@ -28,6 +28,12 @@
 # BENCH json bucket for bucket, and TETRIS_EVENT_LOG must record the
 # job lifecycle. The disarmed event log must cost a few ns/op at
 # most (obs_overhead section of BENCH_perf.json).
+#
+# Serving: the multi-client stress bench must pass (warm phase all
+# cache hits) and write its serve-v1 trajectory, then a real tetrisd
+# round-trips compilations over TCP + unix socket via tetris_client
+# and is SIGTERMed mid-batch — the drain must answer in-flight work,
+# unlink the unix socket, and exit 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -261,3 +267,72 @@ echo "smoke OK: verification sweep clean"
 python3 scripts/fuzz_verify.py --binary build/test_verify_fuzz \
   --seeds 3 --cases 4
 echo "smoke OK: verification + differential fuzz passed"
+
+# ---- resident serve plane: tetrisd + wire protocol ----------------
+# The multi-client stress bench runs the full frame protocol against
+# an in-process server: the warm phase must be pure cache hits (the
+# binary itself exits 1 on any recompile, rejection, or verify
+# failure) and the serve-v1 trajectory must self-diff clean.
+(cd build && ./serve_stress)
+test -s build/BENCH_serve.json
+python3 scripts/bench_diff.py \
+  build/BENCH_serve.json build/BENCH_serve.json
+echo "smoke OK: serve_stress wrote build/BENCH_serve.json"
+
+# Then the real daemon: start tetrisd on an ephemeral port + unix
+# socket, round-trip compilations over both transports with
+# tetris_client, and SIGTERM it mid-batch. The drain must answer
+# every in-flight request, unlink the unix socket, and exit 0.
+serve_dir="$PWD/build/tetris-serve-smoke"
+rm -rf "$serve_dir"
+mkdir -p "$serve_dir"
+rm -f build/tetrisd.port build/tetrisd.log
+# exec so $! is tetrisd itself, not a wrapping subshell — the
+# SIGTERM below must land on the daemon.
+(cd build && exec env TETRIS_CACHE_DIR="$serve_dir" \
+  ./tetrisd_main --port 0 --port-file tetrisd.port \
+  --unix "$serve_dir/tetrisd.sock" > tetrisd.log 2>&1) &
+tetrisd_pid=$!
+for _ in $(seq 1 50); do
+  [ -s build/tetrisd.port ] && break
+  sleep 0.1
+done
+test -s build/tetrisd.port
+serve_port="$(cat build/tetrisd.port)"
+
+(cd build && ./tetris_client --port "$serve_port" --ping)
+(cd build && ./tetris_client --port "$serve_port" \
+  --jobs 4 --distinct 2 --qubits 6)
+(cd build && ./tetris_client --unix "$serve_dir/tetrisd.sock" \
+  --jobs 2 --qubits 6)
+(cd build && ./tetris_client --port "$serve_port" --stats) \
+  | grep -q 'serve.results' \
+  || { echo "smoke FAIL: no serve.results in daemon stats" >&2; \
+       exit 1; }
+echo "smoke OK: tetrisd round-trips over TCP + unix socket"
+
+# SIGTERM mid-batch: a client is still submitting when the signal
+# lands. The daemon must drain (answering what it accepted) and
+# exit 0; the client may see the connection close for its remaining
+# jobs, which is not a smoke failure.
+(cd build && ./tetris_client --port "$serve_port" \
+  --jobs 40 --qubits 8 > /dev/null 2>&1) &
+client_pid=$!
+sleep 0.4
+kill -TERM "$tetrisd_pid"
+set +e
+wait "$tetrisd_pid"
+tetrisd_rc=$?
+wait "$client_pid"
+set -e
+if [ "$tetrisd_rc" -ne 0 ]; then
+  echo "smoke FAIL: tetrisd exited $tetrisd_rc after SIGTERM" >&2
+  exit 1
+fi
+grep -q 'drained after' build/tetrisd.log
+if [ -e "$serve_dir/tetrisd.sock" ]; then
+  echo "smoke FAIL: drain left the unix socket behind" >&2
+  exit 1
+fi
+echo "smoke OK: SIGTERM mid-batch drained cleanly" \
+  "($(grep 'drained after' build/tetrisd.log))"

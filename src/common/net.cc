@@ -1,0 +1,94 @@
+#include "common/net.hh"
+
+#if TETRIS_HAVE_SOCKETS
+
+#include <cerrno>
+
+namespace tetris::net
+{
+
+namespace
+{
+
+#if defined(MSG_NOSIGNAL)
+constexpr int kNoSigPipe = MSG_NOSIGNAL;
+#else
+constexpr int kNoSigPipe = 0;
+#endif
+
+} // namespace
+
+int
+acceptRetry(int listen_fd, struct sockaddr *addr, socklen_t *len)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, addr, len);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR || errno == ECONNABORTED)
+            continue;
+        return -1;
+    }
+}
+
+ssize_t
+recvRetry(int fd, void *buf, size_t len, int flags)
+{
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, len, flags);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+ssize_t
+sendRetry(int fd, const void *buf, size_t len, int flags)
+{
+    for (;;) {
+        ssize_t n = ::send(fd, buf, len, flags);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+int
+pollRetry(struct pollfd *fds, nfds_t nfds, int timeout_ms)
+{
+    for (;;) {
+        int r = ::poll(fds, nfds, timeout_ms);
+        if (r >= 0 || errno != EINTR)
+            return r;
+    }
+}
+
+bool
+sendAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = sendRetry(fd, p + off, len - off, kNoSigPipe);
+        if (n <= 0)
+            return false; // peer gone or send timeout
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+recvAll(int fd, void *data, size_t len)
+{
+    char *p = static_cast<char *>(data);
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = recvRetry(fd, p + off, len - off, 0);
+        if (n <= 0)
+            return false; // EOF, error, or receive timeout
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace tetris::net
+
+#endif // TETRIS_HAVE_SOCKETS

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * EINTR-hardened POSIX socket helpers.
+ *
+ * Every blocking socket syscall in this repository goes through these
+ * wrappers. The contract they fix: a syscall interrupted by a signal
+ * (EINTR) is *retried*, never treated as a peer failure. That matters
+ * for any resident process — tetrisd fields SIGTERM for its graceful
+ * drain, bench binaries field SIGINT for cancellation — where a
+ * signal landing mid-accept() or mid-recv() must not drop a request,
+ * truncate a response, or lose a metrics scrape. (Before these
+ * helpers existed, the obs server's accept/recv/send loops treated
+ * EINTR as fatal; see src/obs/obs_server.cc history.)
+ *
+ * All helpers are thin: no buffering, no ownership, no timeouts of
+ * their own (callers set SO_RCVTIMEO/SO_SNDTIMEO or poll first). A
+ * receive timeout surfaces as EAGAIN/EWOULDBLOCK, which the *All
+ * variants report as a short transfer so a stuck peer still cannot
+ * wedge a serving thread forever.
+ *
+ * Only compiled on POSIX platforms (TETRIS_HAVE_SOCKETS); the obs
+ * and serve layers carry their own no-socket stubs.
+ */
+
+#ifndef TETRIS_COMMON_NET_HH
+#define TETRIS_COMMON_NET_HH
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TETRIS_HAVE_SOCKETS 1
+#else
+#define TETRIS_HAVE_SOCKETS 0
+#endif
+
+#if TETRIS_HAVE_SOCKETS
+
+#include <cstddef>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace tetris::net
+{
+
+/**
+ * accept(2) retrying on EINTR. Also retries the transient
+ * per-connection errors a listener must shrug off (ECONNABORTED).
+ * Returns the connected fd, or -1 with errno set on a real failure.
+ */
+int acceptRetry(int listen_fd, struct sockaddr *addr, socklen_t *len);
+
+/** recv(2) retrying on EINTR. Semantics of recv otherwise. */
+ssize_t recvRetry(int fd, void *buf, size_t len, int flags);
+
+/** send(2) retrying on EINTR. Semantics of send otherwise. */
+ssize_t sendRetry(int fd, const void *buf, size_t len, int flags);
+
+/** poll(2) retrying on EINTR (the timeout is not re-armed exactly,
+ *  which every caller here — periodic wakeup loops — tolerates). */
+int pollRetry(struct pollfd *fds, nfds_t nfds, int timeout_ms);
+
+/**
+ * Write exactly `len` bytes. Retries EINTR and short writes; sends
+ * with MSG_NOSIGNAL where available so a dead peer yields EPIPE, not
+ * a process-killing SIGPIPE. Returns false if the peer went away or
+ * the send timeout expired before everything was written.
+ */
+bool sendAll(int fd, const void *data, size_t len);
+
+/**
+ * Read exactly `len` bytes. Retries EINTR and short reads. Returns
+ * false on EOF, error, or receive timeout before `len` arrived —
+ * the caller cannot distinguish a truncated message from a closed
+ * peer, and never needs to: both mean "this conversation is over".
+ */
+bool recvAll(int fd, void *data, size_t len);
+
+} // namespace tetris::net
+
+#endif // TETRIS_HAVE_SOCKETS
+
+#endif // TETRIS_COMMON_NET_HH

@@ -304,7 +304,8 @@ Engine::runJob(const CompileJob &job, uint64_t key,
             if (opts_.verify) {
                 active->stage.store("verify",
                                     std::memory_order_relaxed);
-                verifyJob(job, *persisted);
+                entry->setVerifyStatus(
+                    1 + static_cast<uint8_t>(verifyJob(job, *persisted)));
             }
             reportDone(job.name);
             const uint64_t latency_ns = finishJob();
@@ -360,7 +361,9 @@ Engine::runJob(const CompileJob &job, uint64_t key,
     bool verify_failed = false;
     if (opts_.verify) {
         active->stage.store("verify", std::memory_order_relaxed);
-        verify_failed = verifyJob(job, result) == VerifyStatus::Fail;
+        const VerifyStatus status = verifyJob(job, result);
+        entry->setVerifyStatus(1 + static_cast<uint8_t>(status));
+        verify_failed = status == VerifyStatus::Fail;
     }
     active->stage.store("publish", std::memory_order_relaxed);
     // Report before publishing: once the entry publishes, waiters
@@ -398,8 +401,8 @@ Engine::runJob(const CompileJob &job, uint64_t key,
     endActiveJob(active);
 }
 
-Engine::JobId
-Engine::submit(CompileJob job)
+std::shared_ptr<CompileCache::Entry>
+Engine::submitEntry(CompileJob job)
 {
     TETRIS_ASSERT(job.hw != nullptr, "job without a device");
     TETRIS_ASSERT(job.pipeline != nullptr, "job without a pipeline");
@@ -432,10 +435,22 @@ Engine::submit(CompileJob job)
         // will be) published by its owner.
         reportDone(job.name);
     }
+    return entry;
+}
 
+Engine::JobId
+Engine::submit(CompileJob job)
+{
+    auto entry = submitEntry(std::move(job));
     std::lock_guard<std::mutex> lock(jobsMutex_);
-    jobs_.push_back(entry);
+    jobs_.push_back(std::move(entry));
     return jobs_.size() - 1;
+}
+
+std::shared_ptr<CompileCache::Entry>
+Engine::submitScoped(CompileJob job)
+{
+    return submitEntry(std::move(job));
 }
 
 std::shared_ptr<const CompileResult>

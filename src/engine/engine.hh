@@ -179,6 +179,17 @@ class Engine
     /** Enqueue a job; returns a handle for wait(). */
     JobId submit(CompileJob job);
 
+    /**
+     * Session-scoped submission for resident services (serve/): the
+     * same enqueue/dedup path as submit(), but the returned entry is
+     * the *only* handle — nothing is appended to the engine-lifetime
+     * job table, so a daemon serving millions of requests does not
+     * grow per-request state inside the engine. Block on
+     * entry->get() for the immutable result; dropping the entry
+     * abandons interest (the compilation still completes and caches).
+     */
+    std::shared_ptr<CompileCache::Entry> submitScoped(CompileJob job);
+
     /** Block until the job finishes; its immutable result. */
     std::shared_ptr<const CompileResult> wait(JobId id);
 
@@ -217,6 +228,19 @@ class Engine
     bool draining() const
     {
         return draining_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Pin the draining flag without waiting: a resident service
+     * (serve/server.hh) sets it the moment SIGTERM lands so /healthz
+     * reports "draining" for the *entire* shutdown window — before,
+     * during, and after the drain() call — not just while the pool
+     * empties. One-way in practice; drain() still clears it, so a
+     * daemon re-asserts after draining if it keeps serving errors.
+     */
+    void markDraining(bool v)
+    {
+        draining_.store(v, std::memory_order_relaxed);
     }
 
     int numThreads() const { return pool_.numThreads(); }
@@ -315,6 +339,7 @@ class Engine
                            uint32_t abi_version = kTetrisAbiVersion);
 
   private:
+    std::shared_ptr<CompileCache::Entry> submitEntry(CompileJob job);
     void runJob(const CompileJob &job, uint64_t key,
                 const std::shared_ptr<CompileCache::Entry> &entry,
                 uint64_t submit_ns);

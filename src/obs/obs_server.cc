@@ -1,6 +1,8 @@
 #include "obs/obs_server.hh"
 
-#if defined(__unix__) || defined(__APPLE__)
+#include "common/net.hh"
+
+#if TETRIS_HAVE_SOCKETS
 #define TETRIS_OBS_HAVE_SOCKETS 1
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -32,12 +34,6 @@ namespace tetris
 
 namespace
 {
-
-#if defined(MSG_NOSIGNAL)
-constexpr int kSendFlags = MSG_NOSIGNAL;
-#else
-constexpr int kSendFlags = 0;
-#endif
 
 /**
  * "host:port" -> (inet addr, port). Host must be an IPv4 literal or
@@ -77,18 +73,6 @@ parseAddr(const std::string &addr, struct sockaddr_in &out)
 }
 
 void
-sendAll(int fd, const char *data, size_t len)
-{
-    size_t off = 0;
-    while (off < len) {
-        ssize_t n = ::send(fd, data + off, len - off, kSendFlags);
-        if (n <= 0)
-            return; // peer went away; nothing to clean up
-        off += static_cast<size_t>(n);
-    }
-}
-
-void
 sendResponse(int fd, int status, const char *reason,
              const char *content_type, const std::string &body)
 {
@@ -98,8 +82,11 @@ sendResponse(int fd, int status, const char *reason,
        << "Content-Length: " << body.size() << "\r\n"
        << "Connection: close\r\n\r\n";
     const std::string head = os.str();
-    sendAll(fd, head.data(), head.size());
-    sendAll(fd, body.data(), body.size());
+    // net::sendAll retries EINTR, so a signal landing mid-scrape
+    // (SIGTERM during a daemon drain, SIGINT during a bench) cannot
+    // truncate the response; peer death just abandons it.
+    if (net::sendAll(fd, head.data(), head.size()))
+        net::sendAll(fd, body.data(), body.size());
 }
 
 std::string
@@ -263,10 +250,12 @@ ObsServer::loop()
         pfd.fd = listenFd_;
         pfd.events = POLLIN;
         pfd.revents = 0;
-        int r = ::poll(&pfd, 1, 100);
+        // EINTR-retrying poll/accept: a signal aimed at the process
+        // (drain, cancellation) must not cost a scrape.
+        int r = net::pollRetry(&pfd, 1, 100);
         if (r <= 0)
             continue;
-        int fd = ::accept(listenFd_, nullptr, nullptr);
+        int fd = net::acceptRetry(listenFd_, nullptr, nullptr);
         if (fd < 0)
             continue;
         // A stuck or malicious client must not wedge the serving
@@ -291,7 +280,7 @@ ObsServer::handle(int fd)
     while (req.size() < 8192 &&
            req.find("\r\n\r\n") == std::string::npos &&
            req.find('\n') == std::string::npos) {
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        ssize_t n = net::recvRetry(fd, buf, sizeof(buf), 0);
         if (n <= 0)
             return;
         req.append(buf, static_cast<size_t>(n));
@@ -350,11 +339,11 @@ obsHttpGet(int port, const std::string &path, int *status)
     }
     const std::string req =
         "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
-    sendAll(fd, req.data(), req.size());
+    net::sendAll(fd, req.data(), req.size());
     std::string resp;
     char buf[4096];
     for (;;) {
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        ssize_t n = net::recvRetry(fd, buf, sizeof(buf), 0);
         if (n <= 0)
             break;
         resp.append(buf, static_cast<size_t>(n));

@@ -1,0 +1,174 @@
+#include "serve/client.hh"
+
+#if TETRIS_HAVE_SOCKETS
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "serialize/artifact.hh"
+
+namespace tetris::serve
+{
+
+namespace
+{
+
+/** Clients wait out real compilations; 60s bounds a dead server. */
+void
+setClientTimeouts(int fd)
+{
+    struct timeval tmo;
+    tmo.tv_sec = 60;
+    tmo.tv_usec = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tmo, sizeof(tmo));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tmo, sizeof(tmo));
+}
+
+} // namespace
+
+std::unique_ptr<ServeClient>
+ServeClient::connectTcp(int port, std::string &err)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::strerror(errno);
+        return nullptr;
+    }
+    struct sockaddr_in sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&sa),
+                  sizeof(sa)) != 0) {
+        err = std::strerror(errno);
+        ::close(fd);
+        return nullptr;
+    }
+    setClientTimeouts(fd);
+    return std::unique_ptr<ServeClient>(new ServeClient(fd));
+}
+
+std::unique_ptr<ServeClient>
+ServeClient::connectUnix(const std::string &path, std::string &err)
+{
+    struct sockaddr_un sa;
+    if (path.size() >= sizeof(sa.sun_path)) {
+        err = "unix socket path too long";
+        return nullptr;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::strerror(errno);
+        return nullptr;
+    }
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sun_family = AF_UNIX;
+    std::memcpy(sa.sun_path, path.c_str(), path.size());
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&sa),
+                  sizeof(sa)) != 0) {
+        err = std::strerror(errno);
+        ::close(fd);
+        return nullptr;
+    }
+    setClientTimeouts(fd);
+    return std::unique_ptr<ServeClient>(new ServeClient(fd));
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+ServeClient::submit(const SubmitRequest &req, Response &out)
+{
+    out = Response();
+    if (!sendFrame(fd_, FrameType::Submit, encodeSubmit(req))) {
+        out.errorCode = "transport";
+        out.errorDetail = "send failed";
+        return false;
+    }
+    FrameType type = FrameType::Error;
+    std::string payload;
+    RecvStatus st =
+        recvFrame(fd_, kDefaultMaxFrameBytes, type, payload);
+    if (st != RecvStatus::Ok) {
+        out.errorCode = "transport";
+        out.errorDetail = recvStatusName(st);
+        return false;
+    }
+    if (type == FrameType::Error) {
+        ErrorFrame e;
+        if (decodeError(payload, e)) {
+            out.errorCode = e.code;
+            out.errorDetail = e.detail;
+        } else {
+            out.errorCode = "transport";
+            out.errorDetail = "undecodable error frame";
+        }
+        return true;
+    }
+    if (type != FrameType::Result) {
+        out.errorCode = "transport";
+        out.errorDetail = "unexpected response frame type";
+        return false;
+    }
+    ResultFrame rf;
+    if (!decodeResult(payload, rf)) {
+        out.errorCode = "transport";
+        out.errorDetail = "undecodable result frame";
+        return false;
+    }
+    // The artifact is a complete .tca image keyed by the server's
+    // job key: the same total decode the disk cache runs, so a
+    // corrupted or mismatched response is caught right here.
+    if (!serialize::decodeArtifact(rf.artifact, rf.jobKey,
+                                   out.result)) {
+        out.errorCode = "transport";
+        out.errorDetail = "artifact image failed to decode";
+        return false;
+    }
+    out.ok = true;
+    out.jobKey = rf.jobKey;
+    out.verify = rf.verify;
+    out.serverMs = rf.serverMs;
+    return true;
+}
+
+bool
+ServeClient::ping()
+{
+    if (!sendFrame(fd_, FrameType::Ping, {}))
+        return false;
+    FrameType type = FrameType::Error;
+    std::string payload;
+    return recvFrame(fd_, kDefaultMaxFrameBytes, type, payload) ==
+               RecvStatus::Ok &&
+           type == FrameType::Pong;
+}
+
+bool
+ServeClient::statsText(std::string &out)
+{
+    if (!sendFrame(fd_, FrameType::Stats, {}))
+        return false;
+    FrameType type = FrameType::Error;
+    std::string payload;
+    if (recvFrame(fd_, kDefaultMaxFrameBytes, type, payload) !=
+            RecvStatus::Ok ||
+        type != FrameType::StatsText)
+        return false;
+    out = std::move(payload);
+    return true;
+}
+
+} // namespace tetris::serve
+
+#endif // TETRIS_HAVE_SOCKETS

@@ -11,15 +11,22 @@
  *  (1) each Q_k restricted to the ancilla wires is Z-type (Z acts as
  *      +1 on the |0> ancillas, so those factors are inert),
  *  (2) the logical parts of the rotation sequence match the scheduled
- *      blocks: within one commuting block rotation order is free and
+ *      blocks. Within one *commuting* block rotation order is free and
  *      same-axis rotations may merge, so per-axis angle *sums* must
  *      agree mod 2pi (mod-2pi slack is a global phase). When every
  *      pair of strings in the whole program commutes (QAOA cost
  *      layers), the pipeline may interleave blocks arbitrarily and
- *      all blocks collapse into a single pool. A residual left when a
- *      block closes may carry over to the next block only if its axis
- *      appears there and commutes with the block it crosses --
- *      exactly the moves a commutation-aware peephole can make.
+ *      all blocks collapse into a single pool. A block whose strings
+ *      do *not* all commute keeps its rotations as an ordered
+ *      sequence instead: a compiled rotation may consume an entry
+ *      only if every earlier not-yet-satisfied entry commutes with
+ *      its axis -- the exact set of reorderings that preserve the
+ *      block unitary -- so arbitrary client-submitted programs verify
+ *      rather than being skipped. A residual left when a block closes
+ *      may carry over to a later same-axis entry (in this block or
+ *      the next) only if it commutes with every live rotation it
+ *      crosses -- exactly the moves a commutation-aware peephole can
+ *      make.
  *  (3) the residual Clifford acts as the finalLayout permutation on
  *      the logical wires and as a Z-type map on the |0> ancillas.
  *
@@ -50,11 +57,26 @@ struct LogicalRotation
     double angle;
 };
 
+/** One expected rotation slot of a scheduled block. */
+struct Entry
+{
+    PauliString axis;
+    double remaining; // expected-minus-consumed angle
+};
+
 /** Expected rotations of one scheduled block. */
 struct Pool
 {
-    /** Per-axis expected-minus-consumed angle. */
-    std::map<PauliString, double> remaining;
+    /**
+     * True when the block's strings do not all mutually commute, so
+     * the relative order of `seq` entries is load-bearing. Commuting
+     * blocks merge same-axis rotations into one slot and are order
+     * free.
+     */
+    bool ordered = false;
+    std::vector<Entry> seq;
+    /** Axis -> seq slot; maintained for unordered pools only. */
+    std::map<PauliString, size_t> index;
 };
 
 bool
@@ -72,9 +94,38 @@ describeAxis(const PauliString &axis)
 }
 
 /**
+ * Find the slot in `pool` a compiled rotation on `axis` may consume,
+ * or nullptr. Unordered pools: the unique per-axis slot. Ordered
+ * pools: the earliest same-axis entry the rotation can legally reach,
+ * i.e. every earlier entry with a live (non-identity) residual must
+ * commute with `axis` -- a live non-commuting entry ahead of the
+ * match means the compiled circuit reordered rotations that do not
+ * commute, which changes the unitary.
+ */
+Entry *
+findSlot(Pool &pool, const PauliString &axis, double tol)
+{
+    if (!pool.ordered) {
+        auto it = pool.index.find(axis);
+        return it == pool.index.end() ? nullptr : &pool.seq[it->second];
+    }
+    for (Entry &e : pool.seq) {
+        if (e.axis == axis)
+            return &e;
+        if (!angleIsIdentity(e.remaining, tol) &&
+            !e.axis.commutesWith(axis))
+            return nullptr; // blocked: order would be violated
+    }
+    return nullptr;
+}
+
+/**
  * Close pool `bi`: every residual must be an identity rotation, or
- * carry over into the next pool when that is a semantically legal
- * move (axis present there and commuting with everything it crosses).
+ * carry over to a later same-axis slot -- first within this pool
+ * (ordered pools keep same-axis rotations in separate slots), then
+ * into the next pool -- when that is a semantically legal move, i.e.
+ * the residual commutes with every live rotation it crosses on the
+ * way there.
  */
 bool
 closePool(std::vector<Pool> &pools, size_t bi, double tol,
@@ -82,30 +133,62 @@ closePool(std::vector<Pool> &pools, size_t bi, double tol,
 {
     Pool &pool = pools[bi];
     Pool *next = bi + 1 < pools.size() ? &pools[bi + 1] : nullptr;
-    for (auto &[axis, residual] : pool.remaining) {
-        if (angleIsIdentity(residual, tol))
+    for (size_t i = 0; i < pool.seq.size(); ++i) {
+        Entry &e = pool.seq[i];
+        if (angleIsIdentity(e.remaining, tol))
             continue;
         bool carried = false;
-        if (next != nullptr) {
-            auto it = next->remaining.find(axis);
-            if (it != next->remaining.end()) {
-                bool commutes_through = true;
-                for (const auto &[other, unused] : pool.remaining) {
-                    if (!axis.commutesWith(other)) {
-                        commutes_through = false;
+        bool blocked = false;
+        // Within-pool carry: only ordered pools can hold a later
+        // same-axis slot (unordered pools merged them at build time).
+        // Within an unordered pool every pair commutes, so reaching
+        // the block boundary is always legal there.
+        for (size_t j = i + 1; j < pool.seq.size(); ++j) {
+            if (pool.seq[j].axis == e.axis) {
+                pool.seq[j].remaining += e.remaining;
+                e.remaining = 0.0;
+                carried = true;
+                break;
+            }
+            if (pool.ordered &&
+                !angleIsIdentity(pool.seq[j].remaining, tol) &&
+                !pool.seq[j].axis.commutesWith(e.axis)) {
+                blocked = true;
+                break;
+            }
+        }
+        if (!carried && !blocked && next != nullptr) {
+            // Cross-pool carry: land on a same-axis slot of the next
+            // pool. In an unordered next pool the landing axis is one
+            // of that block's strings and therefore commutes with the
+            // whole block -- position is free. In an ordered next
+            // pool the residual must additionally commute past every
+            // live entry ahead of the landing slot.
+            if (!next->ordered) {
+                auto it = next->index.find(e.axis);
+                if (it != next->index.end()) {
+                    next->seq[it->second].remaining += e.remaining;
+                    e.remaining = 0.0;
+                    carried = true;
+                }
+            } else {
+                for (Entry &ne : next->seq) {
+                    if (ne.axis == e.axis) {
+                        ne.remaining += e.remaining;
+                        e.remaining = 0.0;
+                        carried = true;
                         break;
                     }
-                }
-                if (commutes_through) {
-                    it->second += residual;
-                    carried = true;
+                    if (!angleIsIdentity(ne.remaining, tol) &&
+                        !ne.axis.commutesWith(e.axis))
+                        break;
                 }
             }
         }
         if (!carried) {
             std::ostringstream os;
-            os << "block " << bi << ": axis " << describeAxis(axis)
-               << " has angle residual " << residual
+            os << "block " << bi << ": axis " << describeAxis(e.axis)
+               << " has angle residual " << e.remaining
                << " (not 0 mod 2pi)";
             detail = os.str();
             return false;
@@ -188,25 +271,40 @@ verifyConjugation(const std::vector<PauliBlock> &blocks,
     for (size_t idx : order) {
         const PauliBlock &b = blocks[idx];
         if (!globally_commuting) {
-            // Within one block the per-axis-sum model needs the
-            // block's strings to mutually commute; every UCCSD and
-            // QAOA workload satisfies this.
-            for (size_t i = 0; i < b.size(); ++i) {
+            // A block whose strings all mutually commute is an
+            // order-free pool with per-axis merged angles; otherwise
+            // the in-block rotation order is part of the semantics
+            // and the pool keeps one slot per string, in order.
+            // (reorderForConsecutiveSimilarity leaves non-commuting
+            // blocks untouched, so compiled output preserves that
+            // order and such programs verify instead of skipping.)
+            bool block_commuting = true;
+            for (size_t i = 0; i < b.size() && block_commuting; ++i) {
                 for (size_t j = i + 1; j < b.size(); ++j) {
                     if (!b.string(i).commutesWith(b.string(j))) {
-                        report.detail =
-                            "block with non-commuting strings (in-block "
-                            "rotation order not modeled)";
-                        return report;
+                        block_commuting = false;
+                        break;
                     }
                 }
             }
             pools.emplace_back();
+            pools.back().ordered = !block_commuting;
         }
         Pool &pool = pools.back();
-        for (size_t i = 0; i < b.size(); ++i)
-            pool.remaining[extend(b.string(i))] +=
-                b.weight(i) * b.theta();
+        for (size_t i = 0; i < b.size(); ++i) {
+            PauliString axis = extend(b.string(i));
+            double angle = b.weight(i) * b.theta();
+            if (pool.ordered) {
+                pool.seq.push_back({std::move(axis), angle});
+                continue;
+            }
+            auto [it, inserted] =
+                pool.index.try_emplace(axis, pool.seq.size());
+            if (inserted)
+                pool.seq.push_back({std::move(axis), angle});
+            else
+                pool.seq[it->second].remaining += angle;
+        }
     }
     if (pools.empty())
         pools.emplace_back();
@@ -259,9 +357,10 @@ verifyConjugation(const std::vector<PauliBlock> &blocks,
                 report.detail = os.str();
                 return report;
             }
-            auto it = pools[bi].remaining.find(rot.axis);
-            if (it != pools[bi].remaining.end()) {
-                it->second -= rot.angle;
+            Entry *slot =
+                findSlot(pools[bi], rot.axis, opts.angleTolerance);
+            if (slot != nullptr) {
+                slot->remaining -= rot.angle;
                 break;
             }
             std::string detail;

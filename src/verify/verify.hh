@@ -106,9 +106,12 @@ VerifyReport verifyExact(const std::vector<PauliBlock> &blocks,
 
 /**
  * Clifford/Pauli-conjugation check, polynomial in circuit size and
- * width. Skipped for MEASURE/RESET circuits and for blocks whose
- * strings do not mutually commute (their in-block rotation order
- * matters, which this checker does not model).
+ * width. Blocks whose strings mutually commute are matched by
+ * per-axis angle sums (order free); blocks with non-commuting
+ * strings are matched as an ordered rotation sequence where only
+ * commutation-preserving reorderings are accepted, so arbitrary
+ * client-submitted programs verify rather than skip. Skipped only
+ * for MEASURE/RESET (qubit-reuse) circuits.
  */
 VerifyReport verifyConjugation(const std::vector<PauliBlock> &blocks,
                                const CompileResult &result,

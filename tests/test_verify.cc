@@ -132,6 +132,91 @@ TEST(VerifyConjugation, AcceptsBridgedRotationsThroughAncillas)
     EXPECT_TRUE(verifyExact(blocks, res).pass());
 }
 
+// ---- non-commuting in-block rotation order ------------------------
+//
+// Blocks whose strings do not all commute used to come back Skipped
+// from the conjugation checker ("in-block rotation order not
+// modeled"). It now tracks that order, so these are hard passes —
+// and commutation-violating reorderings are hard failures.
+
+/** Two blocks with anticommuting in-block strings; block 0 repeats
+ *  an axis around a non-commuting neighbour so checking it needs
+ *  the ordered residual carry, not just per-axis sums. */
+std::vector<PauliBlock>
+orderedWorkload()
+{
+    std::vector<PauliBlock> blocks;
+    blocks.push_back(PauliBlock({PauliString::fromText("XI"),
+                                 PauliString::fromText("ZI"),
+                                 PauliString::fromText("XI")},
+                                {0.3, 0.7, 0.5}, 1.0));
+    blocks.push_back(PauliBlock({PauliString::fromText("ZX"),
+                                 PauliString::fromText("ZZ")},
+                                0.41));
+    return blocks;
+}
+
+TEST(VerifyConjugation, NonCommutingBlocksVerifyInsteadOfSkipping)
+{
+    auto blocks = orderedWorkload();
+    CouplingGraph hw = lineTopology(4);
+    for (const auto &id : generalPipelines()) {
+        CompileResult res =
+            PipelineRegistry::instance().create(id)->run(blocks, hw);
+        VerifyReport exact = verifyExact(blocks, res);
+        EXPECT_EQ(exact.status, VerifyStatus::Pass)
+            << id << ": " << exact.detail;
+        VerifyReport conj = verifyConjugation(blocks, res);
+        EXPECT_EQ(conj.status, VerifyStatus::Pass)
+            << id << ": " << conj.detail;
+    }
+}
+
+/** A compiled result built gate by gate on an identity layout. */
+CompileResult
+handBuiltResult(int num_qubits, const std::vector<Gate> &gates)
+{
+    CompileResult res;
+    Circuit circ(num_qubits);
+    for (const auto &g : gates)
+        circ.add(g);
+    res.circuit = std::move(circ);
+    res.finalLayout = Layout(num_qubits, num_qubits);
+    res.blockOrder = {0};
+    return res;
+}
+
+TEST(VerifyConjugation, EnforcesNonCommutingRotationOrder)
+{
+    // One block, program order X(0.3) Z(0.7) X(0.5) on qubit 0: the
+    // X/Z pairs anticommute, so that order is part of the unitary.
+    std::vector<PauliBlock> blocks = {
+        PauliBlock({PauliString::fromText("XI"),
+                    PauliString::fromText("ZI"),
+                    PauliString::fromText("XI")},
+                   {0.3, 0.7, 0.5}, 1.0)};
+
+    // Faithful order (split X rotations stay split): Pass.
+    CompileResult good = handBuiltResult(
+        2, {Gate::rx(0, 0.3), Gate::rz(0, 0.7), Gate::rx(0, 0.5)});
+    EXPECT_TRUE(verifyExact(blocks, good).pass());
+    VerifyReport conj = verifyConjugation(blocks, good);
+    EXPECT_EQ(conj.status, VerifyStatus::Pass) << conj.detail;
+
+    // Pulling Z ahead of the first X reorders an anticommuting pair.
+    CompileResult swapped = handBuiltResult(
+        2, {Gate::rz(0, 0.7), Gate::rx(0, 0.3), Gate::rx(0, 0.5)});
+    EXPECT_TRUE(verifyExact(blocks, swapped).failed());
+    EXPECT_TRUE(verifyConjugation(blocks, swapped).failed());
+
+    // Merging the two X rotations across the non-commuting Z — the
+    // exact move the old per-axis-sum model could not reject.
+    CompileResult merged =
+        handBuiltResult(2, {Gate::rx(0, 0.8), Gate::rz(0, 0.7)});
+    EXPECT_TRUE(verifyExact(blocks, merged).failed());
+    EXPECT_TRUE(verifyConjugation(blocks, merged).failed());
+}
+
 TEST(VerifyDispatch, SkipsQubitReuseCircuits)
 {
     Graph g = Graph::regular(8, 3, 17);
