@@ -22,6 +22,16 @@
  *   --ping         liveness probe only
  *   --stats        print the server's /metrics snapshot and exit
  *
+ * Streaming mode replaces the synthetic batch with a program file:
+ *
+ *   --file PATH    stream an OpenQASM 2 (.qasm) or Pauli-list program
+ *                  through the server in windowed chunks; chunk N+1's
+ *                  submit carries chunk N's final layout as its seed
+ *                  (protocol v2), exactly like the in-process
+ *                  StreamCompiler
+ *   --window N     blocks per chunk (default: TETRIS_STREAM_WINDOW
+ *                  or 256)
+ *
  * Exit status: 0 when every submission returned a Result with
  * verify != fail, 1 otherwise.
  */
@@ -38,8 +48,11 @@
 #include <memory>
 #include <vector>
 
+#include <fstream>
+
 #include "bench_util.hh"
 #include "chem/uccsd.hh"
+#include "frontend/stream_compiler.hh"
 #include "hardware/topologies.hh"
 #include "serve/client.hh"
 
@@ -53,7 +66,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s (--port N | --unix PATH) [--jobs M] [--qubits Q]"
         " [--seed S] [--distinct D] [--pipeline ID] [--name NAME]"
-        " [--ping] [--stats]\n",
+        " [--file PATH] [--window N] [--ping] [--stats]\n",
         argv0);
     return 2;
 }
@@ -89,6 +102,8 @@ main(int argc, char **argv)
     int distinct = 0;
     std::string pipeline_id;
     std::string name_prefix = "client";
+    std::string file_path;
+    int window = 0; // 0 = resolveStreamWindow (env or 256)
     bool ping_only = false;
     bool stats_only = false;
 
@@ -114,6 +129,10 @@ main(int argc, char **argv)
             pipeline_id = v;
         else if (arg == "--name" && (v = next()))
             name_prefix = v;
+        else if (arg == "--file" && (v = next()))
+            file_path = v;
+        else if (arg == "--window" && (v = next()))
+            window = std::atoi(v);
         else if (arg == "--ping")
             ping_only = true;
         else if (arg == "--stats")
@@ -153,6 +172,89 @@ main(int argc, char **argv)
         }
         std::fputs(text.c_str(), stdout);
         return 0;
+    }
+
+    if (!file_path.empty()) {
+        using namespace tetris::frontend;
+        std::ifstream in(file_path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "tetris_client: cannot open %s\n",
+                         file_path.c_str());
+            return 1;
+        }
+        auto src = makeBlockSource(in, SourceFormat::Auto, file_path);
+        const int win = resolveStreamWindow(window);
+
+        // The wire's one-width rule: strings are exactly device
+        // wide, so the device is built from the program width once
+        // the first chunk reveals it.
+        std::unique_ptr<CouplingGraph> hw;
+        std::vector<int> seed; // chunk 0: identity
+        bool all_ok = true;
+        size_t chunk_index = 0;
+        uint64_t total_blocks = 0;
+        while (true) {
+            std::vector<PauliBlock> chunk;
+            PauliBlock b;
+            while (static_cast<int>(chunk.size()) < win) {
+                BlockSource::Status s = src->next(b);
+                if (s == BlockSource::Status::Block) {
+                    chunk.push_back(std::move(b));
+                } else if (s == BlockSource::Status::End) {
+                    break;
+                } else {
+                    std::fprintf(stderr,
+                                 "tetris_client: parse error: %s\n",
+                                 src->error().toText().c_str());
+                    return 1;
+                }
+            }
+            if (chunk.empty())
+                break;
+            if (!hw)
+                hw = std::make_unique<CouplingGraph>(
+                    lineTopology(src->numQubits()));
+
+            serve::SubmitRequest req = serve::makeSubmitRequest(
+                name_prefix + "#" + std::to_string(chunk_index),
+                pipeline_id, chunk, *hw, seed);
+            serve::ServeClient::Response resp;
+            if (!client->submit(req, resp)) {
+                std::fprintf(stderr,
+                             "tetris_client: chunk %zu transport "
+                             "error: %s (%s)\n",
+                             chunk_index, resp.errorCode.c_str(),
+                             resp.errorDetail.c_str());
+                return 1;
+            }
+            if (!resp.ok) {
+                std::fprintf(stderr,
+                             "tetris_client: chunk %zu rejected: "
+                             "%s (%s)\n",
+                             chunk_index, resp.errorCode.c_str(),
+                             resp.errorDetail.c_str());
+                return 1;
+            }
+            std::printf("chunk %3zu  key=%016llx  verify=%-7s  "
+                        "blocks=%zu  cnots=%zu  server=%.1fms\n",
+                        chunk_index,
+                        static_cast<unsigned long long>(resp.jobKey),
+                        verifyName(resp.verify), chunk.size(),
+                        resp.result.stats.cnotCount, resp.serverMs);
+            if (resp.verify == serve::WireVerify::Fail)
+                all_ok = false;
+            seed = resp.result.finalLayout.toPhysical();
+            total_blocks += chunk.size();
+            ++chunk_index;
+        }
+        std::printf("streamed %zu chunks (%llu blocks, %llu "
+                    "instructions) from %s\n",
+                    chunk_index,
+                    static_cast<unsigned long long>(total_blocks),
+                    static_cast<unsigned long long>(
+                        src->instructionsRead()),
+                    file_path.c_str());
+        return all_ok ? 0 : 1;
     }
 
     const CouplingGraph hw = lineTopology(qubits);

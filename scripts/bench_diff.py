@@ -33,6 +33,15 @@ percentiles and throughput WARN-only, while the stress grid
 drifting, any rejected/errored/verify-failed request, a warm phase
 that recompiled anything, or server-side bad-frame counts FAIL hard.
 
+Stream trajectories (BENCH_stream.json, "schema": "stream-v1",
+written by bench/stream_bench) split the same way: ingest rate,
+chunk throughput, and wall time WARN-only; the workload grid or
+run configuration (window, instruction floor, quick mode) drifting,
+any candidate chunk failing semantic verification, the per-workload
+deterministic counts (generated/parsed instructions, blocks,
+chunks) moving, or the candidate's peak RSS breaking its
+window-proportional bound FAIL hard.
+
 Job trajectories come in two schema versions: legacy files (no
 "schema" key) and "bench-v2" files (which add the engine.histograms
 percentile section). Both diff identically — the headline metrics
@@ -358,6 +367,125 @@ def diff_serve(base, cand, tolerance):
     return 0
 
 
+def diff_stream(base, cand, tolerance):
+    """Diff two stream-v1 trajectories: rates warn, drift fails.
+
+    Everything counted is deterministic given (workload grid, window,
+    instruction floor, quick mode): the generators are seeded and the
+    windowing is pure arithmetic, so instruction/block/chunk counts
+    moving means the frontend or the windowing changed semantics, not
+    the machine. Rates and wall time are machine-dependent and only
+    warn. The candidate must also be internally clean: zero verify
+    failures and peak RSS within its own window bound, regardless of
+    what the baseline did.
+    """
+    failures = []
+    warnings = []
+    slack = 1.0 + tolerance / 100.0
+
+    grid_ok = True
+    cfg_keys = ("window", "instruction_floor", "quickMode")
+    base_cfg = tuple(base.get(k) for k in cfg_keys)
+    cand_cfg = tuple(cand.get(k) for k in cfg_keys)
+    if base_cfg != cand_cfg:
+        grid_ok = False
+        failures.append(
+            f"run configuration drifted: baseline {base_cfg} vs "
+            f"candidate {cand_cfg} for (window, instruction_floor, "
+            "quickMode); regenerate with matching settings"
+        )
+
+    def rows_by_name(doc):
+        return {row.get("name"): row for row in doc.get("rows", [])}
+
+    base_rows, cand_rows = rows_by_name(base), rows_by_name(cand)
+    base_grid = {
+        (r.get("name"), r.get("format"), r.get("qubits"))
+        for r in base.get("rows", [])
+    }
+    cand_grid = {
+        (r.get("name"), r.get("format"), r.get("qubits"))
+        for r in cand.get("rows", [])
+    }
+    if base_grid != cand_grid:
+        grid_ok = False
+        failures.append(
+            f"workload grid drifted: baseline {sorted(base_grid)} vs "
+            f"candidate {sorted(cand_grid)}"
+        )
+
+    # --- candidate correctness: clean regardless of the baseline -----
+    for name, row in sorted(cand_rows.items()):
+        vf = row.get("verify_failures", 0)
+        if vf != 0:
+            failures.append(
+                f"{name}: {vf} chunk(s) failed semantic verification"
+            )
+    if not cand.get("rss_within_bound", True):
+        failures.append(
+            f"peak RSS {cand.get('peak_rss_kb')} KiB exceeds the "
+            f"window bound {cand.get('rss_bound_kb')} KiB — streaming "
+            "memory is no longer O(window)"
+        )
+
+    # --- deterministic counts: must match exactly --------------------
+    if grid_ok:  # counts are only comparable on a matching grid
+        count_keys = (
+            "generated_instructions",
+            "instructions",
+            "blocks",
+            "chunks",
+        )
+        for name in sorted(base_rows.keys() & cand_rows.keys()):
+            for key in count_keys:
+                old = base_rows[name].get(key)
+                new = cand_rows[name].get(key)
+                if old is not None and new is not None and old != new:
+                    failures.append(
+                        f"{name}: {key} drifted {old} -> {new} "
+                        "(deterministic given the grid and window)"
+                    )
+
+    # --- rates / wall time: warnings only ----------------------------
+    rate_keys = (
+        ("instructions_per_sec", "ingest rate", "instr/s"),
+        ("bytes_per_sec", "byte rate", "B/s"),
+        ("chunks_per_sec", "chunk throughput", "chunks/s"),
+    )
+    for name in sorted(base_rows.keys() & cand_rows.keys()):
+        old_row, new_row = base_rows[name], cand_rows[name]
+        for key, label, unit in rate_keys:
+            old, new = old_row.get(key), new_row.get(key)
+            if old and new and new * slack < old:
+                pct = 100.0 * (old - new) / old
+                warnings.append(
+                    f"{name}: {label} {old:.0f} -> {new:.0f} {unit} "
+                    f"(-{pct:.1f}%)"
+                )
+        old = old_row.get("total_seconds")
+        new = new_row.get("total_seconds")
+        if old and new and new > old * slack:
+            pct = 100.0 * (new - old) / old
+            warnings.append(
+                f"{name}: end-to-end {old:.2f} -> {new:.2f} s "
+                f"(+{pct:.1f}%)"
+            )
+
+    for message in warnings:
+        print(f"stream warning (timing, not failing): {message}")
+    if failures:
+        print(f"STREAM DRIFT ({len(failures)} failure(s)):")
+        for message in failures:
+            print(f"  {message}")
+        return 1
+    print(
+        f"OK: stream trajectories consistent "
+        f"({len(warnings)} timing warning(s), "
+        f"tolerance {tolerance:g}%)"
+    )
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two BENCH_*.json artifacts for regressions."
@@ -396,11 +524,12 @@ def main():
             file=sys.stderr,
         )
         return 2
-    if base_schema not in (None, "bench-v2", "perf-v1", "serve-v1"):
+    if base_schema not in (None, "bench-v2", "perf-v1", "serve-v1",
+                           "stream-v1"):
         print(
             f"bench_diff: unknown schema '{base_schema}' "
             "(this script understands legacy, bench-v2, perf-v1, "
-            "and serve-v1)",
+            "serve-v1, and stream-v1)",
             file=sys.stderr,
         )
         return 2
@@ -408,6 +537,8 @@ def main():
         return diff_perf(base_doc, cand_doc, args.tolerance)
     if base_schema == "serve-v1":
         return diff_serve(base_doc, cand_doc, args.tolerance)
+    if base_schema == "stream-v1":
+        return diff_stream(base_doc, cand_doc, args.tolerance)
 
     base = load_jobs(args.baseline, base_doc)
     cand = load_jobs(args.candidate, cand_doc)

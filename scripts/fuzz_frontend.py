@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fuzzing driver for the streaming frontend parsers.
+
+Runs the seeded C++ harness (tests/test_frontend_fuzz.cc) across a
+range of base seeds. Each seed generates fresh random OpenQASM 2 and
+Pauli-list programs, mutates them (byte flips, splices, deletions,
+truncations), and adds uniform garbage; the harness enforces the
+total-decode contract — every input parses clean or stops with one
+typed, positioned error, deterministically, with no crash or hang.
+
+    python3 scripts/fuzz_frontend.py                   # 10 seeds x 25 cases
+    python3 scripts/fuzz_frontend.py --seeds 200 --cases 50
+    python3 scripts/fuzz_frontend.py --binary build/test_frontend_fuzz
+
+Exits nonzero if any seed breaks the contract; the failing seed is
+printed so the run reproduces with
+    TETRIS_FUZZ_SEED=<seed> TETRIS_FUZZ_CASES=<cases> build/test_frontend_fuzz
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+
+
+def parse_args():
+    p = argparse.ArgumentParser(
+        description="sweep the frontend fuzz harness over seeds")
+    p.add_argument("--binary", default="build/test_frontend_fuzz",
+                   help="path to the test_frontend_fuzz gtest binary")
+    p.add_argument("--seeds", type=int, default=10,
+                   help="number of base seeds to run (default 10)")
+    p.add_argument("--start", type=int, default=1,
+                   help="first seed (default 1)")
+    p.add_argument("--cases", type=int, default=25,
+                   help="cases per suite per seed (default 25)")
+    p.add_argument("--gtest-filter", default="FrontendFuzz.*",
+                   help="forwarded to --gtest_filter")
+    p.add_argument("--timeout", type=int, default=120,
+                   help="per-seed timeout in seconds: a hang IS a "
+                        "contract violation (default 120)")
+    return p.parse_args()
+
+
+def main():
+    args = parse_args()
+    if not os.path.exists(args.binary):
+        sys.exit(f"fuzz_frontend: binary not found: {args.binary} "
+                 "(build first: cmake --build build -j)")
+
+    failures = []
+    t0 = time.monotonic()
+    for seed in range(args.start, args.start + args.seeds):
+        env = dict(os.environ,
+                   TETRIS_FUZZ_SEED=str(seed),
+                   TETRIS_FUZZ_CASES=str(args.cases))
+        try:
+            proc = subprocess.run(
+                [args.binary, f"--gtest_filter={args.gtest_filter}"],
+                env=env, capture_output=True, text=True,
+                timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            failures.append(seed)
+            print(f"seed {seed:>6}: HANG (>{args.timeout}s) — "
+                  "total-decode violation", file=sys.stderr)
+            continue
+        if proc.returncode == 0:
+            print(f"seed {seed:>6}: ok")
+            continue
+        failures.append(seed)
+        print(f"seed {seed:>6}: FAILED", file=sys.stderr)
+        print(proc.stdout, file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+
+    dt = time.monotonic() - t0
+    print(f"fuzz_frontend: {args.seeds} seed(s) x {args.cases} "
+          f"case(s) in {dt:.1f}s")
+    if failures:
+        print("fuzz_frontend: FAILING SEEDS: "
+              + ", ".join(map(str, failures)), file=sys.stderr)
+        print("reproduce with: TETRIS_FUZZ_SEED=<seed> "
+              f"TETRIS_FUZZ_CASES={args.cases} {args.binary}",
+              file=sys.stderr)
+        return 1
+    print("fuzz_frontend: no contract violation found")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

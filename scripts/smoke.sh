@@ -32,8 +32,17 @@
 # Serving: the multi-client stress bench must pass (warm phase all
 # cache hits) and write its serve-v1 trajectory, then a real tetrisd
 # round-trips compilations over TCP + unix socket via tetris_client
-# and is SIGTERMed mid-batch — the drain must answer in-flight work,
-# unlink the unix socket, and exit 0.
+# — including a streamed program file ingested in windowed chunks
+# with server-side verification on — and is SIGTERMed mid-batch; the
+# drain must answer in-flight work, unlink the unix socket, and
+# exit 0.
+#
+# Streaming frontend: the quick stream bench must verify every chunk
+# and write its stream-v1 trajectory (self-diffing clean), a short
+# frontend fuzz sweep must find no total-decode violation, and a
+# dedicated 1M+-instruction run must hold peak RSS under the
+# window-proportional bound — the O(window) memory claim, asserted
+# at file scale.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -268,6 +277,57 @@ python3 scripts/fuzz_verify.py --binary build/test_verify_fuzz \
   --seeds 3 --cases 4
 echo "smoke OK: verification + differential fuzz passed"
 
+# ---- streaming frontend: windowed chunk compilation ---------------
+# Quick preset with per-chunk semantic verification: every chunk of
+# every workload family must verify, peak RSS must sit inside the
+# window bound (the binary exits 1 on either), and the stream-v1
+# trajectory must self-diff clean.
+(cd build && TETRIS_VERIFY=1 ./stream_bench)
+test -s build/BENCH_stream.json
+python3 - build/BENCH_stream.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc.get("schema") == "stream-v1", \
+    f"expected stream-v1 schema, got {doc.get('schema')!r}"
+assert doc["rss_within_bound"], \
+    f"peak RSS {doc['peak_rss_kb']} KiB over bound {doc['rss_bound_kb']}"
+for row in doc["rows"]:
+    assert row["verify_failures"] == 0, \
+        f"{row['name']}: {row['verify_failures']} chunk(s) failed verify"
+    assert row["chunks"] > 1, \
+        f"{row['name']}: only {row['chunks']} chunk(s) — not windowed"
+print(f"smoke OK: {len(doc['rows'])} streamed workload(s), every "
+      f"chunk verified, peak RSS {doc['peak_rss_kb']} KiB "
+      f"(bound {doc['rss_bound_kb']} KiB)")
+EOF
+python3 scripts/bench_diff.py \
+  build/BENCH_stream.json build/BENCH_stream.json
+
+# Bounded frontend fuzz: random/mutated/garbage bytes through both
+# parsers — clean end or one typed positioned error, deterministic.
+python3 scripts/fuzz_frontend.py --binary build/test_frontend_fuzz \
+  --seeds 3 --cases 10
+echo "smoke OK: streaming bench + frontend fuzz passed"
+
+# The memory contract at file scale: stream 1M+ instructions per
+# workload and hold peak RSS inside the same window bound (the
+# binary exits 1 if resident memory scaled with input length
+# instead of window size). Verification is covered by the quick run
+# above; this run is about the memory shape.
+(cd build && TETRIS_STREAM_INSTRUCTIONS=1000000 ./stream_bench)
+python3 - build/BENCH_stream.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["rss_within_bound"], \
+    f"peak RSS {doc['peak_rss_kb']} KiB over bound {doc['rss_bound_kb']}"
+for row in doc["rows"]:
+    assert row["instructions"] >= 1000000, \
+        f"{row['name']}: only {row['instructions']} instruction(s)"
+print(f"smoke OK: 1M+-instruction streams held peak RSS at "
+      f"{doc['peak_rss_kb']} KiB (bound {doc['rss_bound_kb']} KiB, "
+      f"window {doc['window']})")
+EOF
+
 # ---- resident serve plane: tetrisd + wire protocol ----------------
 # The multi-client stress bench runs the full frame protocol against
 # an in-process server: the warm phase must be pure cache hits (the
@@ -289,7 +349,7 @@ mkdir -p "$serve_dir"
 rm -f build/tetrisd.port build/tetrisd.log
 # exec so $! is tetrisd itself, not a wrapping subshell — the
 # SIGTERM below must land on the daemon.
-(cd build && exec env TETRIS_CACHE_DIR="$serve_dir" \
+(cd build && exec env TETRIS_CACHE_DIR="$serve_dir" TETRIS_VERIFY=1 \
   ./tetrisd_main --port 0 --port-file tetrisd.port \
   --unix "$serve_dir/tetrisd.sock" > tetrisd.log 2>&1) &
 tetrisd_pid=$!
@@ -310,6 +370,18 @@ serve_port="$(cat build/tetrisd.port)"
   || { echo "smoke FAIL: no serve.results in daemon stats" >&2; \
        exit 1; }
 echo "smoke OK: tetrisd round-trips over TCP + unix socket"
+
+# Streamed ingest through the live daemon: generate a program file,
+# chunk it client-side, and chain each chunk's final layout into the
+# next submission over the wire (protocol v2 seeding). The daemon
+# runs with TETRIS_VERIFY=1, and the client exits nonzero if any
+# chunk's verify verdict comes back as a failure.
+(cd build && ./gen_workloads --kind shor --qubits 12 \
+  --min-instructions 3000 --out smoke-stream.pauli)
+(cd build && ./tetris_client --port "$serve_port" \
+  --file smoke-stream.pauli --window 64 --name smoke-stream)
+echo "smoke OK: streamed ingest through live tetrisd, layouts" \
+  "chained over the wire, every chunk verified"
 
 # SIGTERM mid-batch: a client is still submitting when the signal
 # lands. The daemon must drain (answering what it accepted) and

@@ -88,6 +88,18 @@ compileTetris(const std::vector<PauliBlock> &blocks,
         ir = buildTetrisIr(blocks);
     }
     Layout layout(num_logical, hw.numQubits());
+    bool seeded = false;
+    if (!opts.initialLayout.empty()) {
+        TETRIS_ASSERT(opts.initialLayout.size() ==
+                          static_cast<size_t>(num_logical),
+                      "initialLayout size != workload qubit count");
+        auto from = Layout::fromMapping(opts.initialLayout, hw.numQubits());
+        TETRIS_ASSERT(from.has_value(),
+                      "initialLayout is not an injective map into the "
+                      "device qubits");
+        layout = *from;
+        seeded = true;
+    }
     Circuit circ(hw.numQubits());
     BlockSynthesizer synth(hw, opts.synthesis);
     SynthStats synth_stats;
@@ -179,6 +191,11 @@ compileTetris(const std::vector<PauliBlock> &blocks,
     double seconds = std::chrono::duration<double>(t1 - t0).count();
 
     result.circuit = std::move(circ);
+    if (seeded) {
+        auto from =
+            Layout::fromMapping(opts.initialLayout, hw.numQubits());
+        result.initialLayout = *from;
+    }
     result.finalLayout = layout;
     finalizeStats(result.circuit, naiveCnotCount(blocks), seconds,
                   synth_stats, result.stats);
@@ -202,6 +219,12 @@ optionsContentHash(const TetrisOptions &opts)
     h = fnvMix(h, opts.synthesis.enableBridging);
     h = fnvMix(h, opts.synthesis.adaptiveFallbackFactor);
     h = fnvMix(h, opts.synthesis.clusterFromLargestCC);
+    // The seed placement changes the emitted circuit, so it must be
+    // part of the cache key: a chunk compiled from layout A must not
+    // satisfy a lookup for the same blocks seeded from layout B.
+    h = fnvMix(h, opts.initialLayout.size());
+    for (int p : opts.initialLayout)
+        h = fnvMix(h, p);
     return h;
 }
 

@@ -48,6 +48,17 @@ struct TetrisOptions
     /** Run the peephole ("Qiskit O3") pass after synthesis. */
     bool runPeephole = true;
     /**
+     * Seed placement: logical->physical mapping the compilation
+     * starts from (entries of -1 leave the qubit unplaced). Empty
+     * (the default) starts from the identity placement. The
+     * streaming frontend chains chunks with this: chunk N starts
+     * from chunk N-1's final layout, so no movement is needed
+     * between chunk circuits. Must be an injective map into
+     * [0, hw.numQubits()); part of the options content hash (and
+     * therefore of the compile-cache key).
+     */
+    std::vector<int> initialLayout;
+    /**
      * Extension (the paper's Tetris-IR-recursive future work):
      * reorder strings within each block for maximal consecutive
      * similarity before synthesis, increasing the recursive
@@ -86,6 +97,15 @@ struct CompileResult
 {
     Circuit circuit; ///< Physical circuit on hw.numQubits() wires.
     CompileStats stats;
+    /**
+     * The placement the circuit assumes at its input. Default
+     * constructed (numPhysical() == 0) means identity: logical wire
+     * l enters on physical wire l, the contract of every
+     * non-streamed compilation. Streamed chunks seeded from a
+     * previous chunk's final layout record that seed here, and the
+     * verifier checks against it.
+     */
+    Layout initialLayout;
     Layout finalLayout;
     std::vector<size_t> blockOrder; ///< Scheduled block indices.
     /**

@@ -261,7 +261,7 @@ Engine::runJob(const CompileJob &job, uint64_t key,
     // cancelPending() stops everything that has not started yet.
     if (cancel_.load()) {
         metrics_.addCount(jobsCancelledH_);
-        if (opts_.enableCache) {
+        if (opts_.enableCache && !job.transient) {
             // Don't let the placeholder result shadow the key: a
             // later engine (or run) must recompile it.
             cache_.erase(key);
@@ -412,10 +412,12 @@ Engine::submitEntry(CompileJob job)
     const uint64_t key = jobKey(job);
     std::shared_ptr<CompileCache::Entry> entry;
     bool is_new = true;
-    if (opts_.enableCache) {
+    if (opts_.enableCache && !job.transient) {
         entry = cache_.acquire(key, is_new);
     } else {
-        // No dedup: every submission gets a private slot.
+        // No dedup: every submission gets a private slot. Transient
+        // jobs take this path too — a consume-once result must not
+        // be pinned by the cache's read views (see CompileJob).
         entry = std::make_shared<CompileCache::Entry>();
     }
 

@@ -73,6 +73,17 @@ struct CompileJob
      * PipelineRegistry::create(id) or a make*Pipeline() helper.
      */
     PipelinePtr pipeline = defaultPipeline();
+    /**
+     * Consume-once job: bypass the in-memory compile cache (no dedup
+     * entry, nothing retained after the caller drops its handle).
+     * For streaming drivers whose chunk keys are unique and whose
+     * results are read exactly once, caching would grow resident
+     * memory with every chunk compiled — the cache's lock-free read
+     * views deliberately pin erased entries until the cache dies, so
+     * erase-after-use is not a fix. The persistent disk tier (if
+     * configured) still serves and stores transient jobs.
+     */
+    bool transient = false;
 };
 
 struct EngineOptions

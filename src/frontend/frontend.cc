@@ -1,0 +1,88 @@
+#include "frontend/frontend.hh"
+
+#include <sstream>
+
+namespace tetris::frontend
+{
+
+const char *
+parseErrorKindName(ParseErrorKind kind)
+{
+    switch (kind) {
+    case ParseErrorKind::None:
+        return "none";
+    case ParseErrorKind::Io:
+        return "io";
+    case ParseErrorKind::Lex:
+        return "lex";
+    case ParseErrorKind::Syntax:
+        return "syntax";
+    case ParseErrorKind::Unsupported:
+        return "unsupported";
+    case ParseErrorKind::Semantic:
+        return "semantic";
+    case ParseErrorKind::Limit:
+        return "limit";
+    }
+    return "unknown";
+}
+
+std::string
+ParseError::toText() const
+{
+    std::ostringstream os;
+    os << "line " << line << ", column " << column << ": ["
+       << parseErrorKindName(kind) << "] " << message;
+    return os.str();
+}
+
+CharStream::CharStream(std::istream &in) : in_(in), buf_(kBufferSize) {}
+
+bool
+CharStream::fill()
+{
+    if (io_error_)
+        return false;
+    in_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    len_ = static_cast<size_t>(in_.gcount());
+    pos_ = 0;
+    if (len_ == 0 && !in_.eof())
+        io_error_ = true;
+    return len_ > 0;
+}
+
+int
+CharStream::peek()
+{
+    while (true) {
+        if (pos_ >= len_ && !fill())
+            return -1;
+        char c = buf_[pos_];
+        if (c != '\r')
+            return static_cast<unsigned char>(c);
+        // Swallow '\r' so CRLF files tokenize identically to LF
+        // files; a bare '\r' degrades to a plain skip, which keeps
+        // positions monotonic for old-Mac line endings too.
+        ++pos_;
+        ++bytes_;
+    }
+}
+
+int
+CharStream::get()
+{
+    int c = peek();
+    if (c < 0)
+        return -1;
+    ++pos_;
+    ++bytes_;
+    if (c == '\n') {
+        ++line_;
+        column_ = 1;
+    } else {
+        ++column_;
+    }
+    return c;
+}
+
+} // namespace tetris::frontend

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Streaming program-ingestion layer (ROADMAP item 2).
+ *
+ * The frontend turns a text file — OpenQASM 2 or the native
+ * Pauli-list format — into an incremental stream of PauliBlocks
+ * without ever materializing the file: a fixed-size CharStream
+ * buffer feeds a pull-based parser (BlockSource), and the windowing
+ * stage downstream (frontend/stream_compiler.hh) groups the blocks
+ * into bounded chunks. Memory is O(buffer + one block) regardless of
+ * input size, which is what lets O(GB) programs flow through a
+ * compiler built for in-memory block lists.
+ *
+ * Decoding is *total*: every malformed input — truncation, garbage
+ * bytes, mixed encodings, unsupported constructs — surfaces as a
+ * typed ParseError carrying the 1-based line/column where decoding
+ * stopped, never a crash, abort, or unbounded loop. The fuzz suite
+ * (tests/test_frontend_fuzz.cc) enforces exactly that contract.
+ */
+
+#ifndef TETRIS_FRONTEND_FRONTEND_HH
+#define TETRIS_FRONTEND_FRONTEND_HH
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "pauli/pauli_block.hh"
+
+namespace tetris::frontend
+{
+
+/** What a parse failure is, beyond where it happened. */
+enum class ParseErrorKind
+{
+    None,        ///< No error (default state).
+    Io,          ///< The underlying stream failed mid-read.
+    Lex,         ///< Bytes that form no token (garbage, bad number).
+    Syntax,      ///< Tokens in an order the grammar rejects.
+    Unsupported, ///< Valid QASM the Pauli IR cannot express
+                 ///< (measure, custom gate bodies, ...).
+    Semantic,    ///< Well-formed but meaningless (undeclared
+                 ///< register, index out of range, width mismatch).
+    Limit,       ///< A sanity bound tripped (register too wide).
+};
+
+/** A typed, positioned parse diagnostic. */
+struct ParseError
+{
+    ParseErrorKind kind = ParseErrorKind::None;
+    size_t line = 0;   ///< 1-based; 0 = position unknown.
+    size_t column = 0; ///< 1-based; 0 = position unknown.
+    std::string message;
+
+    bool ok() const { return kind == ParseErrorKind::None; }
+    /** "line 12, column 7: unsupported statement: measure". */
+    std::string toText() const;
+};
+
+/** Stable name of the kind ("syntax", "unsupported", ...). */
+const char *parseErrorKindName(ParseErrorKind kind);
+
+/**
+ * Buffered incremental character reader with position tracking.
+ * Pulls from the istream one fixed-size block at a time; peek()/get()
+ * never touch more than the current buffer. '\n' advances line and
+ * resets column; '\r' is consumed transparently when followed by
+ * '\n' (CRLF inputs report the same positions as LF inputs).
+ */
+class CharStream
+{
+  public:
+    static constexpr size_t kBufferSize = 64 * 1024;
+
+    explicit CharStream(std::istream &in);
+
+    /** Next character without consuming, or -1 at end of input. */
+    int peek();
+
+    /** Consume and return the next character, -1 at end of input. */
+    int get();
+
+    /** True once a read failed for a reason other than EOF. */
+    bool ioError() const { return io_error_; }
+
+    size_t line() const { return line_; }
+    size_t column() const { return column_; }
+
+    /** Bytes consumed so far (ingest-rate accounting). */
+    uint64_t bytesRead() const { return bytes_; }
+
+  private:
+    bool fill();
+
+    std::istream &in_;
+    std::vector<char> buf_;
+    size_t pos_ = 0;
+    size_t len_ = 0;
+    size_t line_ = 1;
+    size_t column_ = 1;
+    uint64_t bytes_ = 0;
+    bool io_error_ = false;
+};
+
+/**
+ * Pull-based block producer: the interface between a format parser
+ * and the windowing stage. next() parses exactly as much input as
+ * one block needs; callers own the loop, so memory stays bounded by
+ * what *they* retain.
+ */
+class BlockSource
+{
+  public:
+    enum class Status
+    {
+        Block, ///< `out` holds the next block.
+        End,   ///< Clean end of input; `out` untouched.
+        Error  ///< error() describes the failure; stream unusable.
+    };
+
+    virtual ~BlockSource() = default;
+
+    virtual Status next(PauliBlock &out) = 0;
+
+    /** The diagnostic after Status::Error (kind None otherwise). */
+    virtual const ParseError &error() const = 0;
+
+    /**
+     * Qubit count of the program; 0 until the input has declared it
+     * (QASM: after the qreg statements; Pauli list: after the first
+     * string).
+     */
+    virtual int numQubits() const = 0;
+
+    /** Source instructions consumed (gates / list lines) so far. */
+    virtual uint64_t instructionsRead() const = 0;
+
+    /** Bytes of input consumed so far (ingest-rate accounting). */
+    virtual uint64_t bytesRead() const = 0;
+
+    /**
+     * True when the input ended with folded-but-unemitted Clifford
+     * gates (QASM only): the block stream then represents the
+     * program only up to that trailing Clifford, and the caller
+     * must surface it.
+     */
+    virtual bool residualClifford() const { return false; }
+};
+
+} // namespace tetris::frontend
+
+#endif // TETRIS_FRONTEND_FRONTEND_HH

@@ -1,0 +1,202 @@
+#include "frontend/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tetris::frontend
+{
+
+namespace
+{
+
+bool
+isIdentStart(int c)
+{
+    return std::isalpha(c) != 0 || c == '_';
+}
+
+bool
+isIdentChar(int c)
+{
+    return std::isalnum(c) != 0 || c == '_';
+}
+
+/** Cap on one token's spelling; longer is garbage, not a program. */
+constexpr size_t kMaxTokenLength = 4096;
+
+} // namespace
+
+Token
+Lexer::fail(ParseErrorKind kind, size_t line, size_t column,
+            std::string message)
+{
+    if (error_.ok()) {
+        error_.kind = kind;
+        error_.line = line;
+        error_.column = column;
+        error_.message = std::move(message);
+    }
+    Token t;
+    t.kind = TokKind::Error;
+    t.line = error_.line;
+    t.column = error_.column;
+    return t;
+}
+
+Token
+Lexer::next()
+{
+    if (!error_.ok())
+        return fail(error_.kind, error_.line, error_.column, "");
+
+    // Skip whitespace and // comments.
+    while (true) {
+        int c = in_.peek();
+        if (c == ' ' || c == '\t' || c == '\n') {
+            in_.get();
+            continue;
+        }
+        if (c == '/') {
+            // Either a comment or the division operator; only commit
+            // once the second '/' is seen.
+            size_t line = in_.line(), column = in_.column();
+            in_.get();
+            if (in_.peek() == '/') {
+                while (in_.peek() >= 0 && in_.peek() != '\n')
+                    in_.get();
+                continue;
+            }
+            Token t;
+            t.kind = TokKind::Slash;
+            t.line = line;
+            t.column = column;
+            return t;
+        }
+        break;
+    }
+
+    Token t;
+    t.line = in_.line();
+    t.column = in_.column();
+
+    int c = in_.peek();
+    if (c < 0) {
+        if (in_.ioError())
+            return fail(ParseErrorKind::Io, t.line, t.column,
+                        "read failure on the input stream");
+        t.kind = TokKind::Eof;
+        return t;
+    }
+
+    if (isIdentStart(c)) {
+        while (isIdentChar(in_.peek())) {
+            t.text.push_back(static_cast<char>(in_.get()));
+            if (t.text.size() > kMaxTokenLength)
+                return fail(ParseErrorKind::Limit, t.line, t.column,
+                            "identifier longer than 4096 bytes");
+        }
+        t.kind = TokKind::Identifier;
+        return t;
+    }
+
+    if (std::isdigit(c) != 0 || c == '.') {
+        std::string num;
+        while (std::isdigit(in_.peek()) != 0)
+            num.push_back(static_cast<char>(in_.get()));
+        if (in_.peek() == '.') {
+            num.push_back(static_cast<char>(in_.get()));
+            while (std::isdigit(in_.peek()) != 0)
+                num.push_back(static_cast<char>(in_.get()));
+        }
+        if (in_.peek() == 'e' || in_.peek() == 'E') {
+            num.push_back(static_cast<char>(in_.get()));
+            if (in_.peek() == '+' || in_.peek() == '-')
+                num.push_back(static_cast<char>(in_.get()));
+            if (std::isdigit(in_.peek()) == 0)
+                return fail(ParseErrorKind::Lex, t.line, t.column,
+                            "exponent with no digits");
+            while (std::isdigit(in_.peek()) != 0)
+                num.push_back(static_cast<char>(in_.get()));
+        }
+        if (num == "." || num.empty())
+            return fail(ParseErrorKind::Lex, t.line, t.column,
+                        "'.' is not a number");
+        if (num.size() > kMaxTokenLength)
+            return fail(ParseErrorKind::Limit, t.line, t.column,
+                        "number longer than 4096 bytes");
+        t.kind = TokKind::Number;
+        t.number = std::strtod(num.c_str(), nullptr);
+        t.text = std::move(num);
+        return t;
+    }
+
+    if (c == '"') {
+        in_.get();
+        while (true) {
+            int ch = in_.peek();
+            if (ch < 0 || ch == '\n')
+                return fail(ParseErrorKind::Lex, t.line, t.column,
+                            "unterminated string literal");
+            in_.get();
+            if (ch == '"')
+                break;
+            t.text.push_back(static_cast<char>(ch));
+            if (t.text.size() > kMaxTokenLength)
+                return fail(ParseErrorKind::Limit, t.line, t.column,
+                            "string longer than 4096 bytes");
+        }
+        t.kind = TokKind::String;
+        return t;
+    }
+
+    in_.get();
+    switch (c) {
+    case '(':
+        t.kind = TokKind::LParen;
+        return t;
+    case ')':
+        t.kind = TokKind::RParen;
+        return t;
+    case '[':
+        t.kind = TokKind::LBracket;
+        return t;
+    case ']':
+        t.kind = TokKind::RBracket;
+        return t;
+    case '{':
+        t.kind = TokKind::LBrace;
+        return t;
+    case '}':
+        t.kind = TokKind::RBrace;
+        return t;
+    case ',':
+        t.kind = TokKind::Comma;
+        return t;
+    case ';':
+        t.kind = TokKind::Semicolon;
+        return t;
+    case '+':
+        t.kind = TokKind::Plus;
+        return t;
+    case '*':
+        t.kind = TokKind::Star;
+        return t;
+    case '-':
+        if (in_.peek() == '>') {
+            in_.get();
+            t.kind = TokKind::Arrow;
+            return t;
+        }
+        t.kind = TokKind::Minus;
+        return t;
+    default:
+        break;
+    }
+    std::string msg = "unexpected byte 0x";
+    const char *hex = "0123456789abcdef";
+    msg.push_back(hex[(c >> 4) & 0xf]);
+    msg.push_back(hex[c & 0xf]);
+    return fail(ParseErrorKind::Lex, t.line, t.column, std::move(msg));
+}
+
+} // namespace tetris::frontend

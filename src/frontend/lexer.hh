@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Incremental tokenizer for the OpenQASM 2 grammar subset.
+ *
+ * Pulls characters from a CharStream on demand — one token of
+ * lookahead, no token list — and never throws: unexpected bytes
+ * yield a Token of kind Error with the lexer's ParseError set, and
+ * every subsequent next() repeats that token, so the parser can
+ * treat the lexer as an infallible stream and report once.
+ */
+
+#ifndef TETRIS_FRONTEND_LEXER_HH
+#define TETRIS_FRONTEND_LEXER_HH
+
+#include <string>
+
+#include "frontend/frontend.hh"
+
+namespace tetris::frontend
+{
+
+enum class TokKind
+{
+    Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+    Number,     ///< decimal literal, optional fraction/exponent
+    String,     ///< "..." (include paths)
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semicolon,
+    Arrow, ///< "->"
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Eof,
+    Error,
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Eof;
+    std::string text;    ///< Identifier/String spelling.
+    double number = 0.0; ///< Number value.
+    size_t line = 0;     ///< 1-based start position.
+    size_t column = 0;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(CharStream &in) : in_(in) {}
+
+    /** The next token; Eof forever at end, Error forever after one. */
+    Token next();
+
+    /** The diagnostic behind a TokKind::Error token. */
+    const ParseError &error() const { return error_; }
+
+  private:
+    Token fail(ParseErrorKind kind, size_t line, size_t column,
+               std::string message);
+
+    CharStream &in_;
+    ParseError error_;
+};
+
+} // namespace tetris::frontend
+
+#endif // TETRIS_FRONTEND_LEXER_HH

@@ -1,0 +1,231 @@
+#include "frontend/pauli_parser.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "frontend/qasm_parser.hh" // kMaxFrontendQubits
+
+namespace tetris::frontend
+{
+
+namespace
+{
+
+/** Longest accepted line: a max-width string plus a weight. */
+constexpr size_t kMaxLineLength = 64 * 1024;
+
+bool
+pauliFromChar(char c, PauliOp &op)
+{
+    switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'I':
+        op = PauliOp::I;
+        return true;
+    case 'X':
+        op = PauliOp::X;
+        return true;
+    case 'Y':
+        op = PauliOp::Y;
+        return true;
+    case 'Z':
+        op = PauliOp::Z;
+        return true;
+    default:
+        return false;
+    }
+}
+
+/** Full-string strict double parse ("1.0", "-0.5", "1e-3"). */
+bool
+parseWeight(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+}
+
+} // namespace
+
+PauliListParser::PauliListParser(std::istream &in) : cs_(in) {}
+
+bool
+PauliListParser::failAt(ParseErrorKind kind, size_t line, size_t column,
+                        std::string message)
+{
+    if (error_.ok()) {
+        error_.kind = kind;
+        error_.line = line;
+        error_.column = column;
+        error_.message = std::move(message);
+    }
+    return false;
+}
+
+bool
+PauliListParser::readLine()
+{
+    line_.clear();
+    if (cs_.peek() < 0)
+        return false;
+    line_no_ = cs_.line();
+    while (true) {
+        int c = cs_.get();
+        if (c < 0 || c == '\n')
+            break;
+        line_.push_back(static_cast<char>(c));
+        if (line_.size() > kMaxLineLength) {
+            return failAt(ParseErrorKind::Limit, line_no_, line_.size(),
+                          "line longer than 64 KiB");
+        }
+    }
+    return true;
+}
+
+bool
+PauliListParser::consumeLine()
+{
+    // Strip comments, then split on blanks.
+    size_t end = line_.size();
+    for (size_t i = 0; i < line_.size(); ++i) {
+        if (line_[i] == '#' ||
+            (line_[i] == '/' && i + 1 < line_.size() &&
+             line_[i + 1] == '/')) {
+            end = i;
+            break;
+        }
+    }
+    std::vector<std::pair<std::string, size_t>> tokens; // text, column
+    size_t i = 0;
+    while (i < end) {
+        if (line_[i] == ' ' || line_[i] == '\t') {
+            ++i;
+            continue;
+        }
+        size_t start = i;
+        while (i < end && line_[i] != ' ' && line_[i] != '\t')
+            ++i;
+        tokens.emplace_back(line_.substr(start, i - start), start + 1);
+    }
+    if (tokens.empty())
+        return true;
+
+    if (tokens[0].first == "block") {
+        if (tokens.size() != 2)
+            return failAt(ParseErrorKind::Syntax, line_no_,
+                          tokens[0].second,
+                          "block header takes exactly one theta value");
+        double theta = 0.0;
+        if (!parseWeight(tokens[1].first, theta))
+            return failAt(ParseErrorKind::Lex, line_no_,
+                          tokens[1].second,
+                          "malformed theta: " + tokens[1].first);
+        if (block_open_) {
+            if (strings_.empty())
+                return failAt(ParseErrorKind::Semantic, line_no_,
+                              tokens[0].second,
+                              "previous block has no strings");
+            ready_ = PauliBlock(std::move(strings_),
+                                std::move(weights_), theta_);
+            block_ready_ = true;
+            strings_ = {};
+            weights_ = {};
+        }
+        block_open_ = true;
+        block_line_ = line_no_;
+        theta_ = theta;
+        return true;
+    }
+
+    // A Pauli-string line.
+    if (!block_open_)
+        return failAt(ParseErrorKind::Syntax, line_no_,
+                      tokens[0].second,
+                      "Pauli string before any block header");
+    if (tokens.size() > 2)
+        return failAt(ParseErrorKind::Syntax, line_no_,
+                      tokens[2].second,
+                      "trailing tokens after the weight");
+
+    const std::string &text = tokens[0].first;
+    if (text.size() > static_cast<size_t>(kMaxFrontendQubits))
+        return failAt(ParseErrorKind::Limit, line_no_, tokens[0].second,
+                      "string wider than " +
+                          std::to_string(kMaxFrontendQubits) +
+                          " qubits");
+    if (num_qubits_ == 0) {
+        num_qubits_ = static_cast<int>(text.size());
+    } else if (text.size() != static_cast<size_t>(num_qubits_)) {
+        return failAt(ParseErrorKind::Semantic, line_no_,
+                      tokens[0].second,
+                      "string width " + std::to_string(text.size()) +
+                          " != program width " +
+                          std::to_string(num_qubits_));
+    }
+    PauliString s(text.size());
+    for (size_t q = 0; q < text.size(); ++q) {
+        PauliOp op;
+        if (!pauliFromChar(text[q], op))
+            return failAt(ParseErrorKind::Lex, line_no_,
+                          tokens[0].second + q,
+                          std::string("invalid Pauli character '") +
+                              text[q] + "'");
+        s.setOp(q, op);
+    }
+    double weight = 1.0;
+    if (tokens.size() == 2 && !parseWeight(tokens[1].first, weight))
+        return failAt(ParseErrorKind::Lex, line_no_, tokens[1].second,
+                      "malformed weight: " + tokens[1].first);
+    strings_.push_back(std::move(s));
+    weights_.push_back(weight);
+    ++instructions_;
+    return true;
+}
+
+BlockSource::Status
+PauliListParser::next(PauliBlock &out)
+{
+    while (true) {
+        if (!error_.ok())
+            return Status::Error;
+        if (block_ready_) {
+            out = std::move(ready_);
+            ready_ = PauliBlock();
+            block_ready_ = false;
+            return Status::Block;
+        }
+        if (done_)
+            return Status::End;
+        if (!readLine()) {
+            if (!error_.ok())
+                return Status::Error;
+            if (cs_.ioError()) {
+                (void)failAt(ParseErrorKind::Io, cs_.line(),
+                             cs_.column(),
+                             "read failure on the input stream");
+                return Status::Error;
+            }
+            // Clean EOF: flush the open block, if any.
+            done_ = true;
+            if (block_open_) {
+                if (strings_.empty()) {
+                    (void)failAt(ParseErrorKind::Semantic, block_line_,
+                                 1, "last block has no strings");
+                    return Status::Error;
+                }
+                out = PauliBlock(std::move(strings_),
+                                 std::move(weights_), theta_);
+                strings_ = {};
+                weights_ = {};
+                block_open_ = false;
+                return Status::Block;
+            }
+            return Status::End;
+        }
+        if (!consumeLine())
+            return Status::Error;
+    }
+}
+
+} // namespace tetris::frontend

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Incremental reader for the native Pauli-list text format.
+ *
+ * The format is the compiler's IR written down, one item per line,
+ * so generators can stream arbitrarily large programs:
+ *
+ *     # Shor-style modular exponentiation, 24 qubits
+ *     block 0.125          // opens a block with theta = 0.125
+ *     ZIIZ...XX  1.0       // weighted string of the open block
+ *     IZZI...YY -0.5
+ *     block 0.0625         // closes the previous block, opens one
+ *     ...
+ *
+ * '#' and '//' start comments; blank lines and CRLF endings are
+ * accepted anywhere. The first string fixes the qubit count; every
+ * later string must match it. A block with no strings, a malformed
+ * weight, a width mismatch, or a character outside [IXYZixyz] is a
+ * typed ParseError with the line/column of the offending byte.
+ *
+ * next() returns a block only once its successor line (or EOF)
+ * proves it complete, so memory is one block, never the file.
+ */
+
+#ifndef TETRIS_FRONTEND_PAULI_PARSER_HH
+#define TETRIS_FRONTEND_PAULI_PARSER_HH
+
+#include <string>
+#include <vector>
+
+#include "frontend/frontend.hh"
+
+namespace tetris::frontend
+{
+
+class PauliListParser : public BlockSource
+{
+  public:
+    explicit PauliListParser(std::istream &in);
+
+    Status next(PauliBlock &out) override;
+    const ParseError &error() const override { return error_; }
+    int numQubits() const override { return num_qubits_; }
+    uint64_t instructionsRead() const override { return instructions_; }
+    uint64_t bytesRead() const override { return cs_.bytesRead(); }
+
+  private:
+    [[nodiscard]] bool failAt(ParseErrorKind kind, size_t line,
+                              size_t column, std::string message);
+    /** Read one logical line into line_; false at EOF/error. */
+    bool readLine();
+    /** Handle line_; sets block_ready_ when a block completed. */
+    bool consumeLine();
+
+    CharStream cs_;
+    ParseError error_;
+
+    std::string line_;
+    size_t line_no_ = 0;
+
+    int num_qubits_ = 0;
+    uint64_t instructions_ = 0;
+
+    /** The block under construction. */
+    bool block_open_ = false;
+    size_t block_line_ = 0; ///< Where the open block's header was.
+    double theta_ = 0.0;
+    std::vector<PauliString> strings_;
+    std::vector<double> weights_;
+
+    /** A finished block waiting for next() to take it. */
+    bool block_ready_ = false;
+    PauliBlock ready_;
+
+    bool done_ = false;
+};
+
+} // namespace tetris::frontend
+
+#endif // TETRIS_FRONTEND_PAULI_PARSER_HH

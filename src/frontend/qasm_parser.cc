@@ -1,0 +1,611 @@
+#include "frontend/qasm_parser.hh"
+
+#include <cmath>
+
+#include "circuit/gate.hh"
+
+namespace tetris::frontend
+{
+
+namespace
+{
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Parenthesis nesting bound for angle expressions. */
+constexpr int kMaxExprDepth = 64;
+
+} // namespace
+
+QasmParser::QasmParser(std::istream &in) : cs_(in), lex_(cs_)
+{
+    advance();
+}
+
+void
+QasmParser::advance()
+{
+    tok_ = lex_.next();
+    if (tok_.kind == TokKind::Error && error_.ok())
+        error_ = lex_.error();
+}
+
+bool
+QasmParser::failHere(ParseErrorKind kind, std::string message)
+{
+    if (error_.ok()) {
+        error_.kind = kind;
+        error_.line = tok_.line;
+        error_.column = tok_.column;
+        error_.message = std::move(message);
+    }
+    return false;
+}
+
+bool
+QasmParser::expect(TokKind kind, const char *what)
+{
+    if (tok_.kind == TokKind::Error)
+        return false;
+    if (tok_.kind != kind)
+        return failHere(ParseErrorKind::Syntax,
+                        std::string("expected ") + what);
+    advance();
+    return true;
+}
+
+BlockSource::Status
+QasmParser::next(PauliBlock &out)
+{
+    while (true) {
+        if (!error_.ok())
+            return Status::Error;
+        if (!pending_.empty()) {
+            auto [axis, angle] = std::move(pending_.front());
+            pending_.pop_front();
+            out = PauliBlock({std::move(axis)}, angle);
+            return Status::Block;
+        }
+        if (done_)
+            return Status::End;
+        if (!pump())
+            return Status::Error;
+    }
+}
+
+bool
+QasmParser::pump()
+{
+    if (!header_done_) {
+        if (!parseHeader())
+            return false;
+        header_done_ = true;
+    }
+    while (pending_.empty()) {
+        if (tok_.kind == TokKind::Error)
+            return false;
+        if (tok_.kind == TokKind::Eof) {
+            if (cs_.ioError())
+                return failHere(ParseErrorKind::Io,
+                                "read failure on the input stream");
+            done_ = true;
+            return true;
+        }
+        if (!parseStatement())
+            return false;
+    }
+    return true;
+}
+
+bool
+QasmParser::parseHeader()
+{
+    if (tok_.kind != TokKind::Identifier || tok_.text != "OPENQASM")
+        return failHere(ParseErrorKind::Syntax,
+                        "expected OPENQASM 2.0 header");
+    advance();
+    if (tok_.kind != TokKind::Number || tok_.text != "2.0")
+        return failHere(ParseErrorKind::Unsupported,
+                        "only OPENQASM version 2.0 is supported");
+    advance();
+    return expect(TokKind::Semicolon, "';' after the version");
+}
+
+bool
+QasmParser::parseStatement()
+{
+    if (tok_.kind != TokKind::Identifier)
+        return failHere(ParseErrorKind::Syntax,
+                        "expected a statement keyword or gate name");
+    std::string name = tok_.text;
+    size_t line = tok_.line, column = tok_.column;
+
+    if (name == "qreg")
+        return parseQreg();
+    if (name == "creg")
+        return parseCreg();
+    if (name == "include")
+        return parseInclude();
+    if (name == "barrier") {
+        advance();
+        return skipToSemicolon();
+    }
+    if (name == "measure" || name == "reset" || name == "if" ||
+        name == "gate" || name == "opaque") {
+        // All of these change semantics the Pauli-block IR cannot
+        // carry; a typed refusal beats a silently-wrong stream.
+        return failHere(ParseErrorKind::Unsupported,
+                        "unsupported statement: " + name);
+    }
+    advance();
+    return parseGate(name, line, column);
+}
+
+bool
+QasmParser::parseQreg()
+{
+    advance();
+    if (frame_ != nullptr)
+        return failHere(ParseErrorKind::Unsupported,
+                        "qreg declared after the first gate");
+    if (tok_.kind != TokKind::Identifier)
+        return failHere(ParseErrorKind::Syntax, "expected register name");
+    std::string name = tok_.text;
+    if (qregs_.count(name) != 0 || cregs_.count(name) != 0)
+        return failHere(ParseErrorKind::Semantic,
+                        "register redeclared: " + name);
+    advance();
+    if (!expect(TokKind::LBracket, "'['"))
+        return false;
+    if (tok_.kind != TokKind::Number)
+        return failHere(ParseErrorKind::Syntax, "expected register size");
+    double size = tok_.number;
+    if (size < 1 || size != std::floor(size) ||
+        size > kMaxFrontendQubits - num_qubits_) {
+        return failHere(ParseErrorKind::Limit,
+                        "register size out of range [1, " +
+                            std::to_string(kMaxFrontendQubits) + "]");
+    }
+    advance();
+    if (!expect(TokKind::RBracket, "']'") ||
+        !expect(TokKind::Semicolon, "';'"))
+        return false;
+    Reg reg;
+    reg.offset = num_qubits_;
+    reg.size = static_cast<int>(size);
+    qregs_[name] = reg;
+    num_qubits_ += reg.size;
+    return true;
+}
+
+bool
+QasmParser::parseCreg()
+{
+    advance();
+    if (tok_.kind != TokKind::Identifier)
+        return failHere(ParseErrorKind::Syntax, "expected register name");
+    std::string name = tok_.text;
+    if (qregs_.count(name) != 0 || cregs_.count(name) != 0)
+        return failHere(ParseErrorKind::Semantic,
+                        "register redeclared: " + name);
+    advance();
+    if (!expect(TokKind::LBracket, "'['"))
+        return false;
+    if (tok_.kind != TokKind::Number || tok_.number < 1 ||
+        tok_.number != std::floor(tok_.number))
+        return failHere(ParseErrorKind::Syntax, "expected register size");
+    advance();
+    if (!expect(TokKind::RBracket, "']'") ||
+        !expect(TokKind::Semicolon, "';'"))
+        return false;
+    cregs_.insert(name);
+    return true;
+}
+
+bool
+QasmParser::parseInclude()
+{
+    advance();
+    if (tok_.kind != TokKind::String)
+        return failHere(ParseErrorKind::Syntax,
+                        "expected a quoted include path");
+    if (tok_.text != "qelib1.inc") {
+        // The standard gate library is built in; arbitrary file
+        // inclusion would break the no-filesystem streaming contract.
+        return failHere(ParseErrorKind::Unsupported,
+                        "include of files other than qelib1.inc");
+    }
+    advance();
+    return expect(TokKind::Semicolon, "';'");
+}
+
+bool
+QasmParser::skipToSemicolon()
+{
+    while (tok_.kind != TokKind::Semicolon) {
+        if (tok_.kind == TokKind::Error)
+            return false;
+        if (tok_.kind == TokKind::Eof)
+            return failHere(ParseErrorKind::Syntax,
+                            "unexpected end of input inside a statement");
+        advance();
+    }
+    advance();
+    return true;
+}
+
+bool
+QasmParser::parseAngle(double &out, int depth)
+{
+    if (!parseAngleTerm(out, depth))
+        return false;
+    while (tok_.kind == TokKind::Plus || tok_.kind == TokKind::Minus) {
+        bool add = tok_.kind == TokKind::Plus;
+        advance();
+        double rhs = 0.0;
+        if (!parseAngleTerm(rhs, depth))
+            return false;
+        out = add ? out + rhs : out - rhs;
+    }
+    return true;
+}
+
+bool
+QasmParser::parseAngleTerm(double &out, int depth)
+{
+    if (!parseAngleFactor(out, depth))
+        return false;
+    while (tok_.kind == TokKind::Star || tok_.kind == TokKind::Slash) {
+        bool mul = tok_.kind == TokKind::Star;
+        advance();
+        double rhs = 0.0;
+        if (!parseAngleFactor(rhs, depth))
+            return false;
+        if (!mul && rhs == 0.0)
+            return failHere(ParseErrorKind::Semantic,
+                            "division by zero in angle expression");
+        out = mul ? out * rhs : out / rhs;
+    }
+    return true;
+}
+
+bool
+QasmParser::parseAngleFactor(double &out, int depth)
+{
+    if (depth > kMaxExprDepth)
+        return failHere(ParseErrorKind::Limit,
+                        "angle expression nested deeper than 64");
+    if (tok_.kind == TokKind::Minus) {
+        advance();
+        if (!parseAngleFactor(out, depth + 1))
+            return false;
+        out = -out;
+        return true;
+    }
+    if (tok_.kind == TokKind::Plus) {
+        advance();
+        return parseAngleFactor(out, depth + 1);
+    }
+    if (tok_.kind == TokKind::Number) {
+        out = tok_.number;
+        advance();
+        return true;
+    }
+    if (tok_.kind == TokKind::Identifier && tok_.text == "pi") {
+        out = kPi;
+        advance();
+        return true;
+    }
+    if (tok_.kind == TokKind::LParen) {
+        advance();
+        if (!parseAngle(out, depth + 1))
+            return false;
+        return expect(TokKind::RParen, "')'");
+    }
+    return failHere(ParseErrorKind::Syntax,
+                    "expected a number, pi, or '(' in angle expression");
+}
+
+bool
+QasmParser::parseArgument(std::vector<int> &wires, bool &broadcast)
+{
+    if (tok_.kind != TokKind::Identifier)
+        return failHere(ParseErrorKind::Syntax,
+                        "expected a quantum register argument");
+    auto it = qregs_.find(tok_.text);
+    if (it == qregs_.end())
+        return failHere(ParseErrorKind::Semantic,
+                        "undeclared quantum register: " + tok_.text);
+    const Reg &reg = it->second;
+    advance();
+    if (tok_.kind != TokKind::LBracket) {
+        // Bare register = broadcast over every wire of the register.
+        broadcast = true;
+        for (int i = 0; i < reg.size; ++i)
+            wires.push_back(reg.offset + i);
+        return true;
+    }
+    advance();
+    if (tok_.kind != TokKind::Number ||
+        tok_.number != std::floor(tok_.number) || tok_.number < 0)
+        return failHere(ParseErrorKind::Syntax, "expected a qubit index");
+    if (tok_.number >= reg.size)
+        return failHere(ParseErrorKind::Semantic,
+                        "qubit index out of range for the register");
+    wires.push_back(reg.offset + static_cast<int>(tok_.number));
+    advance();
+    return expect(TokKind::RBracket, "']'");
+}
+
+bool
+QasmParser::parseGate(const std::string &name, size_t line, size_t column)
+{
+    std::vector<double> params;
+    if (tok_.kind == TokKind::LParen) {
+        advance();
+        if (tok_.kind != TokKind::RParen) {
+            while (true) {
+                double v = 0.0;
+                if (!parseAngle(v, 0))
+                    return false;
+                params.push_back(v);
+                if (tok_.kind != TokKind::Comma)
+                    break;
+                advance();
+            }
+        }
+        if (!expect(TokKind::RParen, "')'"))
+            return false;
+    }
+
+    // Each argument is either one wire or a whole-register broadcast.
+    std::vector<std::vector<int>> args;
+    std::vector<bool> broadcast;
+    while (true) {
+        std::vector<int> wires;
+        bool bcast = false;
+        if (!parseArgument(wires, bcast))
+            return false;
+        args.push_back(std::move(wires));
+        broadcast.push_back(bcast);
+        if (tok_.kind != TokKind::Comma)
+            break;
+        advance();
+    }
+    if (!expect(TokKind::Semicolon, "';'"))
+        return false;
+
+    if (frame_ == nullptr) {
+        if (num_qubits_ == 0) {
+            error_.kind = ParseErrorKind::Semantic;
+            error_.line = line;
+            error_.column = column;
+            error_.message = "gate before any qreg declaration";
+            return false;
+        }
+        frame_ = std::make_unique<PauliFrame>(num_qubits_);
+    }
+
+    if (args.size() == 1) {
+        for (int wire : args[0]) {
+            if (!applyGate(name, line, column, params, {wire}))
+                return false;
+        }
+        return true;
+    }
+    if (args.size() == 2) {
+        if (broadcast[0] || broadcast[1]) {
+            error_.kind = ParseErrorKind::Unsupported;
+            error_.line = line;
+            error_.column = column;
+            error_.message =
+                "whole-register broadcast of a two-qubit gate";
+            return false;
+        }
+        if (args[0][0] == args[1][0]) {
+            error_.kind = ParseErrorKind::Semantic;
+            error_.line = line;
+            error_.column = column;
+            error_.message = "two-qubit gate with identical qubits";
+            return false;
+        }
+        return applyGate(name, line, column, params,
+                         {args[0][0], args[1][0]});
+    }
+    error_.kind = ParseErrorKind::Unsupported;
+    error_.line = line;
+    error_.column = column;
+    error_.message = "gates with more than two arguments";
+    return false;
+}
+
+void
+QasmParser::pushRotation(bool z_axis, int wire, double angle)
+{
+    const SignedPauli &back = z_axis ? frame_->backImageZ(wire)
+                                     : frame_->backImageX(wire);
+    pending_.emplace_back(back.p, back.sign * angle);
+}
+
+bool
+QasmParser::applyGate(const std::string &name, size_t line,
+                      size_t column, const std::vector<double> &params,
+                      const std::vector<int> &wires)
+{
+    auto arity_error = [&](size_t nq, size_t np) {
+        error_.kind = ParseErrorKind::Syntax;
+        error_.line = line;
+        error_.column = column;
+        error_.message = name + " expects " + std::to_string(np) +
+                         " parameter(s) and " + std::to_string(nq) +
+                         " qubit argument(s)";
+        return false;
+    };
+    auto need = [&](size_t nq, size_t np) {
+        if (wires.size() != nq || params.size() != np)
+            return arity_error(nq, np);
+        return true;
+    };
+    auto clifford = [&](const Gate &g) { frame_->applyGate(g); };
+
+    ++instructions_;
+    int q0 = wires[0];
+
+    if (name == "id") {
+        return need(1, 0);
+    }
+    if (name == "h") {
+        if (!need(1, 0))
+            return false;
+        clifford(Gate::h(q0));
+        return true;
+    }
+    if (name == "x") {
+        if (!need(1, 0))
+            return false;
+        clifford(Gate::x(q0));
+        return true;
+    }
+    if (name == "s") {
+        if (!need(1, 0))
+            return false;
+        clifford(Gate::s(q0));
+        return true;
+    }
+    if (name == "sdg") {
+        if (!need(1, 0))
+            return false;
+        clifford(Gate::sdg(q0));
+        return true;
+    }
+    if (name == "z") {
+        if (!need(1, 0))
+            return false;
+        clifford(Gate::s(q0));
+        clifford(Gate::s(q0));
+        return true;
+    }
+    if (name == "y") {
+        // Y = iXZ: equal to Z then X up to global phase, which the
+        // Pauli-rotation semantics cannot observe.
+        if (!need(1, 0))
+            return false;
+        clifford(Gate::s(q0));
+        clifford(Gate::s(q0));
+        clifford(Gate::x(q0));
+        return true;
+    }
+    if (name == "cx" || name == "CX") {
+        if (!need(2, 0))
+            return false;
+        clifford(Gate::cx(q0, wires[1]));
+        return true;
+    }
+    if (name == "swap") {
+        if (!need(2, 0))
+            return false;
+        clifford(Gate::swap(q0, wires[1]));
+        return true;
+    }
+    if (name == "cz") {
+        // cz = (I (x) H) cx (I (x) H).
+        if (!need(2, 0))
+            return false;
+        clifford(Gate::h(wires[1]));
+        clifford(Gate::cx(q0, wires[1]));
+        clifford(Gate::h(wires[1]));
+        return true;
+    }
+    if (name == "t") {
+        if (!need(1, 0))
+            return false;
+        pushRotation(true, q0, kPi / 4);
+        return true;
+    }
+    if (name == "tdg") {
+        if (!need(1, 0))
+            return false;
+        pushRotation(true, q0, -kPi / 4);
+        return true;
+    }
+    if (name == "sx") {
+        if (!need(1, 0))
+            return false;
+        pushRotation(false, q0, kPi / 2);
+        return true;
+    }
+    if (name == "sxdg") {
+        if (!need(1, 0))
+            return false;
+        pushRotation(false, q0, -kPi / 2);
+        return true;
+    }
+    if (name == "rz" || name == "u1" || name == "p") {
+        if (!need(1, 1))
+            return false;
+        pushRotation(true, q0, params[0]);
+        return true;
+    }
+    if (name == "rx") {
+        if (!need(1, 1))
+            return false;
+        pushRotation(false, q0, params[0]);
+        return true;
+    }
+    if (name == "ry") {
+        // ry(t) = s * rx(t) * sdg as matrices: apply sdg, rx, s in
+        // circuit order. The sdg/s pair folds into the frame.
+        if (!need(1, 1))
+            return false;
+        clifford(Gate::sdg(q0));
+        pushRotation(false, q0, params[0]);
+        clifford(Gate::s(q0));
+        return true;
+    }
+    if (name == "u2") {
+        if (!need(1, 2))
+            return false;
+        --instructions_; // the recursive u3 re-counts this gate
+        return applyGate("u3", line, column,
+                         {kPi / 2, params[0], params[1]}, wires);
+    }
+    if (name == "u3" || name == "u" || name == "U") {
+        // u3(t, phi, lambda) = rz(phi) ry(t) rz(lambda) up to global
+        // phase; circuit order is rz(lambda) first.
+        if (!need(1, 3))
+            return false;
+        pushRotation(true, q0, params[2]);
+        clifford(Gate::sdg(q0));
+        pushRotation(false, q0, params[0]);
+        clifford(Gate::s(q0));
+        pushRotation(true, q0, params[1]);
+        return true;
+    }
+
+    error_.kind = ParseErrorKind::Unsupported;
+    error_.line = line;
+    error_.column = column;
+    error_.message = "unsupported gate: " + name;
+    return false;
+}
+
+bool
+QasmParser::residualClifford() const
+{
+    if (frame_ == nullptr)
+        return false;
+    for (int q = 0; q < num_qubits_; ++q) {
+        PauliString x_ref(static_cast<size_t>(num_qubits_));
+        x_ref.setOp(q, PauliOp::X);
+        PauliString z_ref(static_cast<size_t>(num_qubits_));
+        z_ref.setOp(q, PauliOp::Z);
+        const SignedPauli &bx = frame_->backImageX(q);
+        const SignedPauli &bz = frame_->backImageZ(q);
+        if (bx.sign != 1 || bz.sign != 1 || bx.p != x_ref ||
+            bz.p != z_ref)
+            return true;
+    }
+    return false;
+}
+
+} // namespace tetris::frontend

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Incremental OpenQASM 2 reader producing Pauli rotation blocks.
+ *
+ * The parser consumes one statement at a time from the lexer and
+ * folds the circuit into the Pauli-rotation picture the compiler
+ * speaks, using the verifier's Clifford frame (verify/pauli_frame.hh)
+ * as the algebra engine:
+ *
+ *  - Clifford gates (h, x, y, z, s, sdg, cx, cz, swap) are never
+ *    emitted; they accumulate in a PauliFrame.
+ *  - Rotation gates become single-string PauliBlocks whose axis is
+ *    the rotation generator pulled back through the accumulated
+ *    Clifford prefix: rz(t) on wire q emits exp(-i t/2 * C^dg Z_q C).
+ *    ry routes through rx conjugated by s; t/tdg/u1 are rz with
+ *    fixed/forwarded angles; u2/u3 decompose into rz/ry/rz.
+ *  - Everything the Pauli IR cannot express — measure, reset, if,
+ *    custom gate bodies, opaque, non-qelib1 includes — is a typed
+ *    Unsupported error at its source position, by design: silently
+ *    dropping semantics would poison the differential corpus.
+ *
+ * A program that ends while the frame is non-identity has a trailing
+ * Clifford the block stream cannot carry; residualClifford() reports
+ * it so drivers can refuse or warn.
+ *
+ * Angle expressions support the common qelib idiom: numbers, pi,
+ * unary +/-, * / + -, and parentheses (depth-bounded, so crafted
+ * inputs cannot blow the stack).
+ */
+
+#ifndef TETRIS_FRONTEND_QASM_PARSER_HH
+#define TETRIS_FRONTEND_QASM_PARSER_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "frontend/frontend.hh"
+#include "frontend/lexer.hh"
+#include "verify/pauli_frame.hh"
+
+namespace tetris::frontend
+{
+
+/** Widest program the frontend accepts (sanity bound, not a HW cap). */
+inline constexpr int kMaxFrontendQubits = 4096;
+
+class QasmParser : public BlockSource
+{
+  public:
+    explicit QasmParser(std::istream &in);
+
+    Status next(PauliBlock &out) override;
+    const ParseError &error() const override { return error_; }
+    int numQubits() const override { return num_qubits_; }
+    uint64_t instructionsRead() const override { return instructions_; }
+    uint64_t bytesRead() const override { return cs_.bytesRead(); }
+    bool residualClifford() const override;
+
+  private:
+    struct Reg
+    {
+        int offset = 0;
+        int size = 0;
+    };
+
+    void advance();
+    bool expect(TokKind kind, const char *what);
+    [[nodiscard]] bool failHere(ParseErrorKind kind, std::string message);
+
+    /** Parse statements until a rotation lands in pending_ or EOF. */
+    bool pump();
+    bool parseHeader();
+    bool parseStatement();
+    bool parseQreg();
+    bool parseCreg();
+    bool parseInclude();
+    bool skipToSemicolon();
+    bool parseGate(const std::string &name, size_t line, size_t column);
+    bool parseAngle(double &out, int depth);
+    bool parseAngleTerm(double &out, int depth);
+    bool parseAngleFactor(double &out, int depth);
+    bool parseArgument(std::vector<int> &wires, bool &broadcast);
+    bool applyGate(const std::string &name, size_t line, size_t column,
+                   const std::vector<double> &params,
+                   const std::vector<int> &wires);
+    void pushRotation(bool z_axis, int wire, double angle);
+
+    CharStream cs_;
+    Lexer lex_;
+    Token tok_; ///< One-token lookahead.
+
+    bool header_done_ = false;
+    bool done_ = false;
+    ParseError error_;
+
+    std::map<std::string, Reg> qregs_;
+    std::set<std::string> cregs_;
+    int num_qubits_ = 0;
+    /** Created lazily at the first gate; qregs are closed then. */
+    std::unique_ptr<PauliFrame> frame_;
+
+    uint64_t instructions_ = 0;
+    /** Rotations a statement produced but next() has not returned. */
+    std::deque<std::pair<PauliString, double>> pending_;
+};
+
+} // namespace tetris::frontend
+
+#endif // TETRIS_FRONTEND_QASM_PARSER_HH

@@ -1,0 +1,193 @@
+#include "frontend/workloads.hh"
+
+#include <string>
+#include <vector>
+
+#include "chem/uccsd.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "pauli/pauli_block.hh"
+
+namespace tetris::frontend
+{
+
+namespace
+{
+
+/** One Pauli-list string line: text, optional weight. */
+void
+writeString(std::ostream &out, const std::string &text, double weight)
+{
+    out << text;
+    if (weight != 1.0)
+        out << ' ' << weight;
+    out << '\n';
+}
+
+std::string
+singleOp(int n, int q, char op)
+{
+    std::string s(static_cast<size_t>(n), 'I');
+    s[static_cast<size_t>(q)] = op;
+    return s;
+}
+
+} // namespace
+
+uint64_t
+genShorModExp(std::ostream &out, const WorkloadSpec &spec)
+{
+    TETRIS_ASSERT(spec.numQubits >= 2, "need at least two qubits");
+    const int n = spec.numQubits;
+    Rng rng(spec.seed);
+    uint64_t written = 0;
+
+    out << "# shor-modexp: controlled-phase cascades, " << n
+        << " qubits, seed " << spec.seed << "\n";
+
+    // The modexp structure: sweeps of controlled phases from each
+    // "exponent" qubit onto the "work" register at dyadic angles —
+    // CPHASE(t) = exp(i t/4 (I-Z_c)(I-Z_t)) written as one commuting
+    // three-string block — with an X-mixing rotation after each
+    // sweep (the basis changes between QFT stages).
+    while (written < spec.minInstructions) {
+        int control = rng.uniformInt(0, n - 1);
+        for (int dist = 1; dist < n && written < spec.minInstructions;
+             ++dist) {
+            int target = (control + dist) % n;
+            double theta = 3.14159265358979323846 / double(1 << (dist % 20));
+            out << "block " << theta << "\n";
+            writeString(out, singleOp(n, control, 'Z'), -1.0);
+            writeString(out, singleOp(n, target, 'Z'), -1.0);
+            std::string zz(static_cast<size_t>(n), 'I');
+            zz[static_cast<size_t>(control)] = 'Z';
+            zz[static_cast<size_t>(target)] = 'Z';
+            writeString(out, zz, 1.0);
+            written += 3;
+        }
+        // Mixing rotation on the control before the next sweep.
+        out << "block " << rng.uniform(0.1, 1.5) << "\n";
+        writeString(out, singleOp(n, control, 'X'), 1.0);
+        written += 1;
+    }
+    return written;
+}
+
+uint64_t
+genGrover3Sat(std::ostream &out, const WorkloadSpec &spec)
+{
+    TETRIS_ASSERT(spec.numQubits >= 3, "need at least three qubits");
+    const int n = spec.numQubits;
+    Rng rng(spec.seed);
+    uint64_t written = 0;
+
+    out << "// grover-3sat: " << n << " variables, seed " << spec.seed
+        << "\n";
+    out << "OPENQASM 2.0;\n";
+    out << "include \"qelib1.inc\";\n";
+    out << "qreg q[" << n << "];\n";
+
+    auto gate1 = [&](const char *g, int q) {
+        out << g << " q[" << q << "];\n";
+        ++written;
+    };
+    auto cx = [&](int a, int b) {
+        out << "cx q[" << a << "], q[" << b << "];\n";
+        ++written;
+    };
+    // Standard ancilla-free CCZ: 6 CX + 7 T/Tdg.
+    auto ccz = [&](int a, int b, int c) {
+        cx(b, c);
+        gate1("tdg", c);
+        cx(a, c);
+        gate1("t", c);
+        cx(b, c);
+        gate1("tdg", c);
+        cx(a, c);
+        gate1("t", b);
+        gate1("t", c);
+        cx(a, b);
+        gate1("t", a);
+        gate1("tdg", b);
+        cx(a, b);
+    };
+
+    // Uniform superposition.
+    for (int q = 0; q < n; ++q)
+        gate1("h", q);
+
+    // 3-SAT instance at the standard hard ratio ~4.3 clauses/var.
+    int num_clauses = (n * 43 + 9) / 10;
+    struct Clause
+    {
+        int var[3];
+        bool neg[3];
+    };
+    std::vector<Clause> clauses(static_cast<size_t>(num_clauses));
+    for (auto &cl : clauses) {
+        auto vars = rng.sampleIndices(static_cast<size_t>(n), 3);
+        for (int i = 0; i < 3; ++i) {
+            cl.var[i] = static_cast<int>(vars[static_cast<size_t>(i)]);
+            cl.neg[i] = rng.bernoulli(0.5);
+        }
+    }
+
+    while (written < spec.minInstructions) {
+        // Oracle: phase-flip each clause's violating assignment.
+        for (const auto &cl : clauses) {
+            for (int i = 0; i < 3; ++i)
+                if (!cl.neg[i])
+                    gate1("x", cl.var[i]);
+            ccz(cl.var[0], cl.var[1], cl.var[2]);
+            for (int i = 0; i < 3; ++i)
+                if (!cl.neg[i])
+                    gate1("x", cl.var[i]);
+        }
+        // Diffusion: H X (CCZ cascade) X H.
+        for (int q = 0; q < n; ++q)
+            gate1("h", q);
+        for (int q = 0; q < n; ++q)
+            gate1("x", q);
+        for (int q = 0; q + 2 < n; q += 2)
+            ccz(q, q + 1, q + 2);
+        for (int q = 0; q < n; ++q)
+            gate1("x", q);
+        for (int q = 0; q < n; ++q)
+            gate1("h", q);
+    }
+    return written;
+}
+
+uint64_t
+genTrotterChem(std::ostream &out, const WorkloadSpec &spec)
+{
+    TETRIS_ASSERT(spec.numQubits >= 4, "need at least four qubits");
+    std::vector<PauliBlock> ansatz =
+        buildSyntheticUcc(spec.numQubits, spec.seed);
+
+    // Strings per Trotter step, to size the step count up front.
+    uint64_t per_step = 0;
+    for (const auto &b : ansatz)
+        per_step += b.size();
+    uint64_t steps = (spec.minInstructions + per_step - 1) / per_step;
+    if (steps == 0)
+        steps = 1;
+
+    out << "# trotter-chem: synthetic UCCSD, " << spec.numQubits
+        << " qubits, " << steps << " steps, seed " << spec.seed << "\n";
+
+    uint64_t written = 0;
+    for (uint64_t s = 0; s < steps; ++s) {
+        for (const auto &b : ansatz) {
+            out << "block " << b.theta() / static_cast<double>(steps)
+                << "\n";
+            for (size_t i = 0; i < b.size(); ++i) {
+                writeString(out, b.string(i).toText(), b.weight(i));
+                ++written;
+            }
+        }
+    }
+    return written;
+}
+
+} // namespace tetris::frontend

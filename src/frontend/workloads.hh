@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Streaming program generators for production-scale workloads.
+ *
+ * Each generator writes a deterministic (seeded) program as *text*
+ * to an ostream, line by line, so a 100M-instruction program costs
+ * O(1) generator memory and can be piped straight into the frontend
+ * parsers. Three families from the streaming roadmap item:
+ *
+ *  - Shor-style modular exponentiation (Pauli-list format): the
+ *    controlled-phase cascades of the QFT/modexp structure, i.e.
+ *    CPHASE(theta) expanded into its commuting {Z_c, Z_t, Z_c Z_t}
+ *    rotation block at dyadic angles, interleaved with X-axis
+ *    mixing rotations.
+ *  - Grover over random 3-SAT (OpenQASM 2): per-clause phase
+ *    oracles (X-conjugated CCZ in the standard 7-T decomposition)
+ *    alternating with H/X diffusion layers — a heavily
+ *    non-commuting, T-dense gate stream that exercises the QASM
+ *    path end to end.
+ *  - Trotterized chemistry (Pauli-list format): the synthetic
+ *    UCCSD ansatz (chem/uccsd.hh) split into first-order Trotter
+ *    steps, each block's angle scaled by 1/steps.
+ *
+ * Every generator writes at least spec.minInstructions source
+ * instructions (strings / gates) and returns the exact count.
+ */
+
+#ifndef TETRIS_FRONTEND_WORKLOADS_HH
+#define TETRIS_FRONTEND_WORKLOADS_HH
+
+#include <cstdint>
+#include <ostream>
+
+namespace tetris::frontend
+{
+
+struct WorkloadSpec
+{
+    int numQubits = 16;
+    /** Lower bound on instructions; generators finish their current
+     *  structural unit (clause, Trotter step) past it. */
+    uint64_t minInstructions = 10000;
+    uint64_t seed = 42;
+};
+
+/** Pauli-list modular-exponentiation phase cascades. */
+uint64_t genShorModExp(std::ostream &out, const WorkloadSpec &spec);
+
+/** OpenQASM 2 Grover iterations over random 3-SAT clauses. */
+uint64_t genGrover3Sat(std::ostream &out, const WorkloadSpec &spec);
+
+/** Pauli-list Trotterized synthetic-UCCSD evolution. */
+uint64_t genTrotterChem(std::ostream &out, const WorkloadSpec &spec);
+
+} // namespace tetris::frontend
+
+#endif // TETRIS_FRONTEND_WORKLOADS_HH

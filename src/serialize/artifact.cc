@@ -169,6 +169,7 @@ encodeArtifact(uint64_t job_key, const CompileResult &result)
     BinaryWriter payload;
     write(payload, result.circuit);
     write(payload, result.stats);
+    write(payload, result.initialLayout);
     write(payload, result.finalLayout);
     payload.u64(result.blockOrder.size());
     for (size_t idx : result.blockOrder)
@@ -210,6 +211,7 @@ decodeArtifact(ByteSpan bytes, uint64_t expected_key,
     BinaryReader r(payload);
     CompileResult decoded;
     if (!read(r, decoded.circuit) || !read(r, decoded.stats) ||
+        !read(r, decoded.initialLayout) ||
         !read(r, decoded.finalLayout)) {
         return false;
     }

@@ -32,8 +32,12 @@
 namespace tetris::serialize
 {
 
-/** Bump on any wire-format change; readers reject other versions. */
-inline constexpr uint32_t kArtifactVersion = 1;
+/**
+ * Bump on any wire-format change; readers reject other versions.
+ * v2 added the seed placement (CompileResult::initialLayout) the
+ * streaming frontend chains chunks with; v1 files decode as misses.
+ */
+inline constexpr uint32_t kArtifactVersion = 2;
 
 /** Component encoders (appended to `w`). */
 void write(BinaryWriter &w, const Circuit &c);

@@ -1,0 +1,102 @@
+#include "serialize/stream_file.hh"
+
+#include "serialize/artifact.hh"
+#include "serialize/binary.hh"
+
+namespace tetris::serialize
+{
+
+namespace
+{
+
+/** "TCS1" read as a little-endian u32. */
+constexpr uint32_t kStreamMagic = 0x31534354u;
+
+/** Cap one record's artifact before allocating its buffer. */
+constexpr uint64_t kMaxArtifactBytes = uint64_t{1} << 32;
+
+} // namespace
+
+StreamArtifactWriter::StreamArtifactWriter(const std::string &path)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        return;
+    BinaryWriter header;
+    header.u32(kStreamMagic);
+    header.u32(kStreamVersion);
+    out_.write(header.data().data(),
+               static_cast<std::streamsize>(header.size()));
+    ok_ = static_cast<bool>(out_);
+}
+
+bool
+StreamArtifactWriter::append(uint64_t job_key, const CompileResult &result)
+{
+    if (!ok_)
+        return false;
+    std::string artifact = encodeArtifact(job_key, result);
+    BinaryWriter rec;
+    rec.u64(job_key);
+    rec.u64(count_);
+    rec.u64(artifact.size());
+    out_.write(rec.data().data(),
+               static_cast<std::streamsize>(rec.size()));
+    out_.write(artifact.data(),
+               static_cast<std::streamsize>(artifact.size()));
+    out_.flush();
+    ok_ = static_cast<bool>(out_);
+    if (ok_)
+        ++count_;
+    return ok_;
+}
+
+StreamArtifactReader::StreamArtifactReader(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+    if (!in_)
+        return;
+    char raw[8];
+    in_.read(raw, sizeof raw);
+    if (!in_ || in_.gcount() != sizeof raw)
+        return;
+    BinaryReader r(ByteSpan(raw, sizeof raw));
+    uint32_t magic = r.u32();
+    uint32_t version = r.u32();
+    header_ok_ =
+        r.ok() && magic == kStreamMagic && version == kStreamVersion;
+}
+
+StreamArtifactReader::Status
+StreamArtifactReader::next(uint64_t &job_key, CompileResult &result)
+{
+    if (!header_ok_)
+        return Status::Corrupt;
+
+    char raw[24];
+    in_.read(raw, sizeof raw);
+    if (in_.gcount() == 0 && in_.eof())
+        return Status::End;
+    if (in_.gcount() != sizeof raw)
+        return Status::Corrupt; // truncated mid-record-header
+
+    BinaryReader r(ByteSpan(raw, sizeof raw));
+    uint64_t key = r.u64();
+    uint64_t index = r.u64();
+    uint64_t size = r.u64();
+    if (!r.ok() || index != count_ || size > kMaxArtifactBytes)
+        return Status::Corrupt;
+
+    std::string artifact(static_cast<size_t>(size), '\0');
+    in_.read(artifact.data(), static_cast<std::streamsize>(size));
+    if (in_.gcount() != static_cast<std::streamsize>(size))
+        return Status::Corrupt; // truncated mid-artifact
+
+    if (!decodeArtifact(artifact, key, result))
+        return Status::Corrupt;
+    job_key = key;
+    ++count_;
+    return Status::Record;
+}
+
+} // namespace tetris::serialize

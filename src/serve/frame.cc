@@ -5,6 +5,7 @@
 
 #include "common/hash.hh"
 #include "core/pipeline.hh"
+#include "core/pipeline_adapters.hh"
 #include "hardware/coupling_graph.hh"
 #include "pauli/pauli_string.hh"
 
@@ -118,6 +119,9 @@ encodeSubmit(const SubmitRequest &req)
             w.f64(weight);
         }
     }
+    w.u64(req.initialLayout.size());
+    for (int p : req.initialLayout)
+        w.i32(p);
     return w.data();
 }
 
@@ -185,6 +189,26 @@ decodeSubmit(ByteSpan payload, SubmitRequest &out, std::string &err)
         }
         out.blocks.push_back(std::move(block));
     }
+
+    const uint64_t layout_len = r.u64();
+    if (!r.ok() ||
+        (layout_len != 0 &&
+         layout_len != static_cast<uint64_t>(out.numQubits)))
+        return failDecode(err, "initialLayout length must be 0 or "
+                               "numQubits");
+    std::vector<bool> seen(static_cast<size_t>(out.numQubits), false);
+    out.initialLayout.reserve(layout_len);
+    for (uint64_t i = 0; i < layout_len; ++i) {
+        int p = r.i32();
+        if (!r.ok())
+            return failDecode(err, "truncated initialLayout");
+        if (p < 0 || p >= out.numQubits)
+            return failDecode(err, "initialLayout entry out of range");
+        if (seen[static_cast<size_t>(p)])
+            return failDecode(err, "initialLayout repeats a qubit");
+        seen[static_cast<size_t>(p)] = true;
+        out.initialLayout.push_back(p);
+    }
     if (!r.atEnd())
         return failDecode(err, "trailing bytes after submit body");
     return true;
@@ -193,7 +217,19 @@ decodeSubmit(ByteSpan payload, SubmitRequest &out, std::string &err)
 bool
 submitToJob(const SubmitRequest &req, CompileJob &job, std::string &err)
 {
-    if (req.pipelineId.empty()) {
+    if (!req.initialLayout.empty()) {
+        // A seed placement is a TetrisOptions knob, so it can only
+        // ride on the tetris pipeline; the registry's other stacks
+        // have no notion of a starting layout.
+        if (!req.pipelineId.empty() && req.pipelineId != "tetris") {
+            err = "initialLayout requires the tetris pipeline, got: " +
+                  req.pipelineId;
+            return false;
+        }
+        TetrisOptions opts;
+        opts.initialLayout = req.initialLayout;
+        job.pipeline = makeTetrisPipeline(std::move(opts));
+    } else if (req.pipelineId.empty()) {
         job.pipeline = defaultPipeline();
     } else if (PipelineRegistry::instance().contains(req.pipelineId)) {
         job.pipeline = PipelineRegistry::instance().create(req.pipelineId);
@@ -234,11 +270,13 @@ submitToJob(const SubmitRequest &req, CompileJob &job, std::string &err)
 SubmitRequest
 makeSubmitRequest(std::string name, std::string pipeline_id,
                   const std::vector<PauliBlock> &blocks,
-                  const CouplingGraph &hw)
+                  const CouplingGraph &hw,
+                  std::vector<int> initial_layout)
 {
     SubmitRequest req;
     req.name = std::move(name);
     req.pipelineId = std::move(pipeline_id);
+    req.initialLayout = std::move(initial_layout);
     req.numQubits = hw.numQubits();
     req.edges = hw.edges();
     req.hwName = hw.name();

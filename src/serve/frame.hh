@@ -48,8 +48,12 @@ namespace tetris::serve
 /** "TSP1" little-endian, deliberately distinct from .tca's "TCA1". */
 inline constexpr uint32_t kFrameMagic = 0x31505354u;
 
-/** Bump on any frame-layout change; receivers reject other versions. */
-inline constexpr uint32_t kProtocolVersion = 1;
+/**
+ * Bump on any frame-layout change; receivers reject other versions.
+ * v2 added the Submit initialLayout field (streamed chunk chaining);
+ * v1 peers get version_skew, never a misparse.
+ */
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /** magic + version + type + payloadLen. */
 inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 4 + 8;
@@ -123,6 +127,15 @@ struct SubmitRequest
         std::vector<std::pair<std::string, double>> strings;
     };
     std::vector<Block> blocks;
+    /**
+     * Seed placement (protocol v2): logical qubit l starts on device
+     * qubit initialLayout[l]. Empty = identity. When present it must
+     * be a permutation of [0, numQubits) — the wire's one-width rule
+     * makes the program exactly device wide — and the server compiles
+     * with the seeded Tetris pipeline, which is how a streaming
+     * client chains chunk N's final layout into chunk N+1.
+     */
+    std::vector<int> initialLayout;
 };
 
 std::string encodeSubmit(const SubmitRequest &req);
@@ -153,7 +166,8 @@ bool submitToJob(const SubmitRequest &req, CompileJob &job,
 SubmitRequest makeSubmitRequest(std::string name,
                                 std::string pipeline_id,
                                 const std::vector<PauliBlock> &blocks,
-                                const CouplingGraph &hw);
+                                const CouplingGraph &hw,
+                                std::vector<int> initial_layout = {});
 
 // ---- result / error payloads ---------------------------------------
 

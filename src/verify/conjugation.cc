@@ -24,7 +24,7 @@
  *      block unitary -- so arbitrary client-submitted programs verify
  *      rather than being skipped. A residual left when a block closes
  *      may carry over to a later same-axis entry (in this block or
- *      the next) only if it commutes with every live rotation it
+ *      any later one) only if it commutes with every live rotation it
  *      crosses -- exactly the moves a commutation-aware peephole can
  *      make.
  *  (3) the residual Clifford acts as the finalLayout permutation on
@@ -123,16 +123,15 @@ findSlot(Pool &pool, const PauliString &axis, double tol)
  * Close pool `bi`: every residual must be an identity rotation, or
  * carry over to a later same-axis slot -- first within this pool
  * (ordered pools keep same-axis rotations in separate slots), then
- * into the next pool -- when that is a semantically legal move, i.e.
- * the residual commutes with every live rotation it crosses on the
- * way there.
+ * into any later pool -- when that is a semantically legal move,
+ * i.e. the residual commutes with every live rotation it crosses on
+ * the way there.
  */
 bool
 closePool(std::vector<Pool> &pools, size_t bi, double tol,
           std::string &detail)
 {
     Pool &pool = pools[bi];
-    Pool *next = bi + 1 < pools.size() ? &pools[bi + 1] : nullptr;
     for (size_t i = 0; i < pool.seq.size(); ++i) {
         Entry &e = pool.seq[i];
         if (angleIsIdentity(e.remaining, tol))
@@ -157,22 +156,34 @@ closePool(std::vector<Pool> &pools, size_t bi, double tol,
                 break;
             }
         }
-        if (!carried && !blocked && next != nullptr) {
-            // Cross-pool carry: land on a same-axis slot of the next
-            // pool. In an unordered next pool the landing axis is one
-            // of that block's strings and therefore commutes with the
-            // whole block -- position is free. In an ordered next
-            // pool the residual must additionally commute past every
-            // live entry ahead of the landing slot.
-            if (!next->ordered) {
-                auto it = next->index.find(e.axis);
-                if (it != next->index.end()) {
-                    next->seq[it->second].remaining += e.remaining;
+        // Cross-pool carry: land on the first same-axis slot of a
+        // later pool the residual can legally reach. It may cross a
+        // pool entirely -- or, in an ordered pool, the entries ahead
+        // of the landing slot -- only while every live rotation it
+        // passes commutes with it; the first live non-commuting
+        // entry ends the search. (When it lands in an unordered
+        // pool the axis is one of that block's strings and commutes
+        // with the whole block, so the landing position is free.)
+        for (size_t pj = bi + 1;
+             !carried && !blocked && pj < pools.size(); ++pj) {
+            Pool &np = pools[pj];
+            if (!np.ordered) {
+                auto it = np.index.find(e.axis);
+                if (it != np.index.end()) {
+                    np.seq[it->second].remaining += e.remaining;
                     e.remaining = 0.0;
                     carried = true;
+                    break;
+                }
+                for (const Entry &ne : np.seq) {
+                    if (!angleIsIdentity(ne.remaining, tol) &&
+                        !ne.axis.commutesWith(e.axis)) {
+                        blocked = true;
+                        break;
+                    }
                 }
             } else {
-                for (Entry &ne : next->seq) {
+                for (Entry &ne : np.seq) {
                     if (ne.axis == e.axis) {
                         ne.remaining += e.remaining;
                         e.remaining = 0.0;
@@ -180,8 +191,10 @@ closePool(std::vector<Pool> &pools, size_t bi, double tol,
                         break;
                     }
                     if (!angleIsIdentity(ne.remaining, tol) &&
-                        !ne.axis.commutesWith(e.axis))
+                        !ne.axis.commutesWith(e.axis)) {
+                        blocked = true;
                         break;
+                    }
                 }
             }
         }
@@ -224,6 +237,19 @@ verifyConjugation(const std::vector<PauliBlock> &blocks,
         report.detail = why_not;
         return report;
     }
+    // Seeded compiles take logical qubit l in on wire initialLayout(l)
+    // (identity when default-constructed); every input-frame statement
+    // below is phrased on those wires. Wires outside the image are the
+    // |0> ancillas at the circuit input.
+    auto init = verify_detail::layoutPermutation(
+        result.initialLayout, num_logical, width, why_not);
+    if (!init) {
+        report.detail = "initialLayout: " + why_not;
+        return report;
+    }
+    std::vector<int> logical_at_in(width, -1);
+    for (int l = 0; l < num_logical; ++l)
+        logical_at_in[(*init)[l]] = l;
 
     // ---- scheduled reference ------------------------------------
     std::vector<size_t> order = result.blockOrder;
@@ -323,8 +349,9 @@ verifyConjugation(const std::vector<PauliBlock> &blocks,
         bool ancilla_only_z = true;
         for (int w = 0; w < width; ++w) {
             PauliOp op = back.p.op(w);
-            if (w < num_logical) {
-                axis.setOp(w, op);
+            int l = logical_at_in[w];
+            if (l >= 0) {
+                axis.setOp(l, op);
             } else if (op != PauliOp::I && op != PauliOp::Z) {
                 ancilla_only_z = false;
                 break;
@@ -384,13 +411,13 @@ verifyConjugation(const std::vector<PauliBlock> &blocks,
         }
     }
 
-    // ---- residual Clifford = finalLayout permutation -------------
+    // ---- residual Clifford = initial->final permutation ----------
     // Conditions phrased on back-images M(P) = C^dg P C: with V the
-    // |psi>_L (x) |0>_F subspace, C|V acts as the permutation up to
-    // global phase iff the pulled-back logical generators reduce to
-    // the identity-mapped ones modulo the ancilla stabilizer
-    // <Z_f : f free-in>, and the free-out stabilizer pulls back into
-    // that same group.
+    // (logical-on-initialLayout-wires) (x) |0>_F subspace, C|V acts
+    // as the initial->final wire permutation up to global phase iff
+    // the pulled-back logical generators reduce to the input-wire
+    // ones modulo the ancilla stabilizer <Z_f : f free-in>, and the
+    // free-out stabilizer pulls back into that same group.
     std::vector<bool> logical_out(width, false);
     for (int l = 0; l < num_logical; ++l)
         logical_out[(*perm)[l]] = true;
@@ -408,7 +435,7 @@ verifyConjugation(const std::vector<PauliBlock> &blocks,
                     detail = "wrong operator on its own wire";
                     return false;
                 }
-            } else if (w < num_logical) {
+            } else if (logical_at_in[w] >= 0) {
                 if (op != PauliOp::I) {
                     detail = "spills onto another logical wire";
                     return false;
@@ -423,12 +450,14 @@ verifyConjugation(const std::vector<PauliBlock> &blocks,
 
     for (int l = 0; l < num_logical; ++l) {
         int p = (*perm)[l];
+        int in = (*init)[l];
         std::string why;
-        if (!checkImage(frame.backImageX(p), l, PauliOp::X, why) ||
-            !checkImage(frame.backImageZ(p), l, PauliOp::Z, why)) {
+        if (!checkImage(frame.backImageX(p), in, PauliOp::X, why) ||
+            !checkImage(frame.backImageZ(p), in, PauliOp::Z, why)) {
             std::ostringstream os;
             os << "residual Clifford does not map logical qubit " << l
-               << " to wire " << p << ": " << why;
+               << " from wire " << in << " to wire " << p << ": "
+               << why;
             report.status = VerifyStatus::Fail;
             report.detail = os.str();
             return report;

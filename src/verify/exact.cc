@@ -37,19 +37,18 @@ circuitIsUnitary(const Circuit &c)
 }
 
 std::optional<std::vector<int>>
-finalPermutation(const CompileResult &result, int num_logical,
-                 int num_phys, std::string &why_not)
+layoutPermutation(const Layout &layout, int num_logical, int num_phys,
+                  std::string &why_not)
 {
-    // Unrouted pipelines leave finalLayout default-constructed:
+    // Unrouted pipelines leave the layout default-constructed:
     // logical wire l stays on physical wire l.
     std::vector<int> new_pos(num_phys, -1);
     std::vector<bool> used(num_phys, false);
-    const Layout &layout = result.finalLayout;
     for (int l = 0; l < num_logical; ++l) {
         int pos = l;
         if (layout.numPhysical() > 0) {
             if (l >= layout.numLogical()) {
-                why_not = "finalLayout narrower than the program";
+                why_not = "layout narrower than the program";
                 return std::nullopt;
             }
             pos = layout.physOf(l);
@@ -57,12 +56,12 @@ finalPermutation(const CompileResult &result, int num_logical,
         if (pos < 0) {
             // Qubit-reuse pipelines evict finished logical qubits;
             // the permutation contract does not apply to them.
-            why_not = "logical qubit evicted from finalLayout "
+            why_not = "logical qubit evicted from the layout "
                       "(qubit reuse)";
             return std::nullopt;
         }
         if (pos >= num_phys || used[pos]) {
-            why_not = "finalLayout is not an injective map into the "
+            why_not = "layout is not an injective map into the "
                       "register";
             return std::nullopt;
         }
@@ -81,6 +80,14 @@ finalPermutation(const CompileResult &result, int num_logical,
         used[next_free] = true;
     }
     return new_pos;
+}
+
+std::optional<std::vector<int>>
+finalPermutation(const CompileResult &result, int num_logical,
+                 int num_phys, std::string &why_not)
+{
+    return layoutPermutation(result.finalLayout, num_logical, num_phys,
+                             why_not);
 }
 
 } // namespace verify_detail
@@ -159,6 +166,16 @@ verifyExact(const std::vector<PauliBlock> &blocks,
         report.detail = why_not;
         return report;
     }
+    // Seeded compiles (streamed chunks) take their input with logical
+    // qubit l already sitting on wire initialLayout(l); the reference
+    // side stays on logical wires, so the actual side starts from the
+    // initial-layout permutation of the embedded state.
+    auto init_pos = verify_detail::layoutPermutation(
+        result.initialLayout, num_logical, num_phys, why_not);
+    if (!init_pos) {
+        report.detail = "initialLayout: " + why_not;
+        return report;
+    }
 
     std::vector<size_t> order = result.blockOrder;
     if (order.empty()) {
@@ -179,7 +196,7 @@ verifyExact(const std::vector<PauliBlock> &blocks,
         Statevector logical = Statevector::random(num_logical, rng);
         Statevector start = embed(logical, num_phys);
 
-        Statevector actual = start;
+        Statevector actual = permute(start, *init_pos);
         actual.applyCircuit(result.circuit);
 
         Statevector expected = start;

@@ -24,11 +24,17 @@ int registerWidth(const std::vector<PauliBlock> &blocks,
 bool circuitIsUnitary(const Circuit &c);
 
 /**
- * Total wire permutation implied by finalLayout (identity when the
+ * Total wire permutation implied by a layout (identity when the
  * layout is default-constructed; free wires fill remaining slots in
- * ascending order). nullopt, with `why_not` set, when the contract
+ * ascending order). Entry l of the result is the physical wire of
+ * logical qubit l. nullopt, with `why_not` set, when the contract
  * does not apply (evicted logicals, malformed layout).
  */
+std::optional<std::vector<int>>
+layoutPermutation(const Layout &layout, int num_logical, int num_phys,
+                  std::string &why_not);
+
+/** layoutPermutation applied to result.finalLayout. */
 std::optional<std::vector<int>>
 finalPermutation(const CompileResult &result, int num_logical,
                  int num_phys, std::string &why_not);

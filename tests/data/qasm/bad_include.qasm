@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+include "mylib.inc";
+qreg q[1];
+rz(0.5) q[0];

@@ -1,0 +1,19 @@
+// Leading comment before the header.
+
+OPENQASM 2.0;
+// Comment between statements.
+include "qelib1.inc";
+
+qreg q[3];
+creg c[3];
+
+// A rotation with inline trailing comment.
+rz(pi/2) q[0]; // trailing comment
+
+h q[1];
+rx(0.25) q[1];
+
+// Blank lines everywhere.
+
+
+t q[2];

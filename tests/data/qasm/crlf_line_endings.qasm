@@ -1,0 +1,8 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+
+rz(pi/4) q[0];
+h q[0];
+rx(0.5) q[1];
+h q[0];

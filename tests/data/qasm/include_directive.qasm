@@ -1,0 +1,6 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+cx q[0], q[1];
+rz(1.5) q[1];
+cx q[0], q[1];

@@ -1,0 +1,5 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+gate mygate a, b { cx a, b; }
+mygate q[0], q[1];
